@@ -1,0 +1,31 @@
+#pragma once
+
+// Shared helpers for the paper-reproduction benchmark harnesses.
+//
+// Every bench prints the corresponding paper table/figure in ASCII form and
+// (where useful) times hot components with google-benchmark. The scale knob
+// DANCE_BENCH_SCALE (float, default 1.0) multiplies dataset sizes and epoch
+// counts so the same binaries can run paper-closer workloads when given more
+// time: e.g. DANCE_BENCH_SCALE=4 ./bench_table1_evaluator.
+
+#include <cstdlib>
+#include <string>
+
+namespace dance::bench {
+
+/// Scale factor from the environment (default 1.0, clamped to [0.1, 100]).
+inline double scale() {
+  const char* env = std::getenv("DANCE_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  if (v < 0.1) return 0.1;
+  if (v > 100.0) return 100.0;
+  return v;
+}
+
+inline int scaled(int base) {
+  const double v = static_cast<double>(base) * scale();
+  return v < 1.0 ? 1 : static_cast<int>(v);
+}
+
+}  // namespace dance::bench

@@ -1,0 +1,161 @@
+// Reproduction of Table 1: "Performance of the Evaluator Network".
+//
+// Trains and validates, on exhaustive-search ground truth:
+//   - the hardware generation network (per-head classification accuracy),
+//   - the cost estimation network without feature forwarding,
+//   - the cost estimation network with feature forwarding,
+//   - the end-to-end evaluator (HwGenNet -> Gumbel softmax -> CostNet).
+//
+// Expected shape (paper): hardware generation heads ~99%; cost estimation
+// w/o FF in the low-to-mid 90s; w/ FF several points higher (~99+); overall
+// evaluator close to the w/-FF numbers.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "accel/cost_function.h"
+#include "arch/cost_table.h"
+#include "evalnet/trainer.h"
+#include "util/table.h"
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace dance;
+
+struct Pipeline {
+  std::unique_ptr<arch::ArchSpace> arch_space;
+  std::unique_ptr<hwgen::HwSearchSpace> hw_space;
+  std::unique_ptr<accel::CostModel> model;
+  std::unique_ptr<arch::CostTable> table;
+  evalnet::EvaluatorDataset train;
+  evalnet::EvaluatorDataset val;
+};
+
+Pipeline build_pipeline(int train_count, int val_count) {
+  Pipeline p;
+  p.arch_space = std::make_unique<arch::ArchSpace>(arch::cifar10_backbone());
+  p.hw_space = std::make_unique<hwgen::HwSearchSpace>();
+  p.model = std::make_unique<accel::CostModel>();
+  p.table = std::make_unique<arch::CostTable>(*p.arch_space, *p.hw_space, *p.model);
+  util::Rng rng(2024);
+  const auto ds = evalnet::generate_evaluator_dataset(
+      *p.table, accel::edap_cost(), train_count + val_count, rng);
+  auto [train, val] = evalnet::split_dataset(
+      ds, static_cast<double>(train_count) / (train_count + val_count));
+  p.train = std::move(train);
+  p.val = std::move(val);
+  return p;
+}
+
+void run_table1() {
+  // Paper-scale: 1.8M cost samples / 50K hwgen samples, 200 epochs.
+  // Scaled-down defaults keep the bench in the minutes range.
+  const int train_count = dance::bench::scaled(12000);
+  const int val_count = dance::bench::scaled(3000);
+  const int epochs = dance::bench::scaled(30);
+
+  std::printf("== Table 1: Performance of the Evaluator Network ==\n");
+  std::printf("ground truth: exhaustive search over %s configs, %d train / %d "
+              "val architectures, %d epochs\n\n",
+              "13872", train_count, val_count, epochs);
+
+  Pipeline p = build_pipeline(train_count, val_count);
+  util::Rng rng(77);
+
+  // --- Hardware generation network. ---
+  evalnet::HwGenNet hwgen_net(p.arch_space->encoding_width(), *p.hw_space, rng);
+  evalnet::TrainOptions hw_opts;
+  hw_opts.epochs = epochs;
+  hw_opts.batch_size = 128;   // paper: SGD batch 128
+  hw_opts.lr = 0.05F;
+  const evalnet::HwGenEval hw_eval =
+      evalnet::train_hwgen_net(hwgen_net, p.train, p.val, hw_opts);
+
+  // --- Cost estimation network without feature forwarding. ---
+  evalnet::CostNet::Options no_ff;
+  no_ff.feature_forwarding = false;
+  evalnet::CostNet cost_no_ff(p.arch_space->encoding_width(),
+                              p.hw_space->encoding_width(), rng, no_ff);
+  evalnet::TrainOptions cost_opts;
+  cost_opts.epochs = epochs;
+  cost_opts.batch_size = 128;
+  cost_opts.lr = 4e-3F;
+  const evalnet::CostEval eval_no_ff =
+      evalnet::train_cost_net(cost_no_ff, p.train, p.val, cost_opts);
+
+  // --- Cost estimation network with feature forwarding. ---
+  evalnet::CostNet::Options with_ff;
+  with_ff.feature_forwarding = true;
+  evalnet::CostNet cost_ff(p.arch_space->encoding_width(),
+                           p.hw_space->encoding_width(), rng, with_ff);
+  const evalnet::CostEval eval_ff =
+      evalnet::train_cost_net(cost_ff, p.train, p.val, cost_opts);
+
+  // --- End-to-end evaluator: trained components cascaded via Gumbel. ---
+  evalnet::Evaluator evaluator(p.arch_space->encoding_width(), *p.hw_space, rng);
+  {
+    evalnet::TrainOptions opts = hw_opts;
+    evalnet::train_hwgen_net(evaluator.hwgen_net(), p.train, p.val, opts);
+    evalnet::TrainOptions copts = cost_opts;
+    evalnet::train_cost_net(evaluator.cost_net(), p.train, p.val, copts);
+  }
+  const evalnet::CostEval eval_overall =
+      evalnet::evaluate_evaluator(evaluator, p.val, rng);
+
+  util::Table t({"Network", "Objective", "Accuracy"});
+  const char* heads[4] = {"PEX", "PEY", "RF Size", "Dataflow"};
+  for (int h = 0; h < 4; ++h) {
+    t.add_row({h == 0 ? "Hardware Generation" : "", heads[h],
+               util::Table::fmt(hw_eval.head_accuracy_pct[static_cast<std::size_t>(h)], 1) + "%"});
+  }
+  const char* metrics[3] = {"Latency", "Energy", "Area"};
+  for (int m = 0; m < 3; ++m) {
+    t.add_row({m == 0 ? "Cost Estimation (w/o FF)" : "", metrics[m],
+               util::Table::fmt(eval_no_ff.metric_accuracy_pct[static_cast<std::size_t>(m)], 1) + "%"});
+  }
+  for (int m = 0; m < 3; ++m) {
+    t.add_row({m == 0 ? "Cost Estimation (w/ FF)" : "", metrics[m],
+               util::Table::fmt(eval_ff.metric_accuracy_pct[static_cast<std::size_t>(m)], 1) + "%"});
+  }
+  for (int m = 0; m < 3; ++m) {
+    t.add_row({m == 0 ? "Overall Evaluator" : "", metrics[m],
+               util::Table::fmt(eval_overall.metric_accuracy_pct[static_cast<std::size_t>(m)], 1) + "%"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  double ff_gain = 0.0;
+  for (int m = 0; m < 3; ++m) {
+    ff_gain += (eval_ff.metric_accuracy_pct[static_cast<std::size_t>(m)] -
+                eval_no_ff.metric_accuracy_pct[static_cast<std::size_t>(m)]) / 3.0;
+  }
+  std::printf("feature forwarding gain: %+.1f %%p on average (paper: +4.3 %%p)\n\n",
+              ff_gain);
+}
+
+/// google-benchmark microbenchmark: evaluator dataset generation rate
+/// (exhaustive ground-truth searches per second via the cost LUT).
+void BM_GroundTruthSearch(benchmark::State& state) {
+  arch::ArchSpace arch_space(arch::cifar10_backbone());
+  hwgen::HwSearchSpace hw_space;
+  accel::CostModel model;
+  arch::CostTable table(arch_space, hw_space, model);
+  util::Rng rng(1);
+  const auto cost_fn = accel::edap_cost();
+  for (auto _ : state) {
+    const arch::Architecture a = arch_space.random(rng);
+    benchmark::DoNotOptimize(table.optimal(a, cost_fn));
+  }
+}
+BENCHMARK(BM_GroundTruthSearch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Train the differentiable evaluator once, checkpoint it, and reload it in a
+// fresh model — the workflow for reusing one evaluator across many searches
+// (e.g. a lambda2 sweep like Fig. 5).
+//
+// Run: ./build/examples/evaluator_checkpoint
+#include <cstdio>
+
+#include "evalnet/trainer.h"
+#include "nn/serialize.h"
+
+int main() {
+  using namespace dance;
+
+  arch::ArchSpace arch_space(arch::cifar10_backbone());
+  hwgen::HwSearchSpace hw_space;
+  accel::CostModel model;
+  arch::CostTable table(arch_space, hw_space, model);
+
+  util::Rng rng(15);
+  auto ds = evalnet::generate_evaluator_dataset(table, accel::edap_cost(), 2000,
+                                                rng);
+  auto [train, val] = evalnet::split_dataset(ds, 0.85);
+
+  // Train a small evaluator.
+  evalnet::Evaluator::Options opts;
+  opts.hwgen.hidden_dim = 64;
+  opts.cost.hidden_dim = 96;
+  evalnet::Evaluator evaluator(arch_space.encoding_width(), hw_space, rng, opts);
+  evalnet::TrainOptions hw_opts;
+  hw_opts.epochs = 12;
+  hw_opts.lr = 0.05F;
+  evalnet::train_hwgen_net(evaluator.hwgen_net(), train, val, hw_opts);
+  evalnet::TrainOptions cost_opts;
+  cost_opts.epochs = 12;
+  cost_opts.lr = 4e-3F;
+  evalnet::train_cost_net(evaluator.cost_net(), train, val, cost_opts);
+  const auto trained = evalnet::evaluate_evaluator(evaluator, val, rng);
+  std::printf("trained evaluator accuracy: lat %.1f%% energy %.1f%% area %.1f%%\n",
+              trained.metric_accuracy_pct[0], trained.metric_accuracy_pct[1],
+              trained.metric_accuracy_pct[2]);
+
+  // Checkpoint both sub-networks (parameters, batch-norm running statistics
+  // and the cost net's output scale).
+  evaluator.hwgen_net().save("evaluator_hwgen.ckpt");
+  evaluator.cost_net().save("evaluator_cost.ckpt");
+  std::printf("saved evaluator_hwgen.ckpt and evaluator_cost.ckpt\n");
+
+  // Reload into a freshly constructed evaluator (same configuration).
+  util::Rng rng2(999);  // different init seed on purpose
+  evalnet::Evaluator reloaded(arch_space.encoding_width(), hw_space, rng2, opts);
+  reloaded.hwgen_net().load("evaluator_hwgen.ckpt");
+  reloaded.cost_net().load("evaluator_cost.ckpt");
+  const auto reloaded_eval = evalnet::evaluate_evaluator(reloaded, val, rng2);
+  std::printf("reloaded evaluator accuracy: lat %.1f%% energy %.1f%% area %.1f%%\n",
+              reloaded_eval.metric_accuracy_pct[0],
+              reloaded_eval.metric_accuracy_pct[1],
+              reloaded_eval.metric_accuracy_pct[2]);
+  return 0;
+}

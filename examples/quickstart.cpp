@@ -1,0 +1,49 @@
+// Quickstart: evaluate a hand-picked network on a hand-picked accelerator,
+// then let the exhaustive hardware generation tool find the optimum.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "accel/cost_function.h"
+#include "accel/cost_model.h"
+#include "arch/space.h"
+#include "hwgen/exhaustive.h"
+
+int main() {
+  using namespace dance;
+
+  // The CIFAR-10 ProxylessNAS-style backbone with a concrete choice of ops.
+  arch::ArchSpace space(arch::cifar10_backbone());
+  arch::Architecture net(static_cast<std::size_t>(space.num_searchable()),
+                         arch::CandidateOp::kMbConv3x3E6);
+  net[2] = arch::CandidateOp::kMbConv5x5E3;
+  net[5] = arch::CandidateOp::kZero;
+
+  const auto layers = space.lower(net);
+  std::printf("Network: %d searchable layers, %zu conv shapes, %.1f MMACs\n",
+              space.num_searchable(), layers.size(),
+              static_cast<double>(space.macs(net)) / 1e6);
+
+  // Evaluate on a fixed Eyeriss-like configuration.
+  accel::CostModel model;
+  const accel::AcceleratorConfig config{16, 16, 32,
+                                        accel::Dataflow::kRowStationary};
+  const accel::CostMetrics m = model.network_cost(config, layers);
+  std::printf("\nOn %s:\n  latency %.3f ms | energy %.3f mJ | area %.2f mm^2 "
+              "| EDAP %.2f\n",
+              config.to_string().c_str(), m.latency_ms, m.energy_mj, m.area_mm2,
+              m.edap());
+
+  // Ask the hardware generation tool for the EDAP-optimal accelerator.
+  hwgen::HwSearchSpace hw_space;
+  hwgen::ExhaustiveSearch search(hw_space, model);
+  const hwgen::HwSearchResult best = search.run(layers, accel::edap_cost());
+  std::printf("\nEDAP-optimal accelerator (%zu configs searched): %s\n",
+              hw_space.size(), best.config.to_string().c_str());
+  std::printf("  latency %.3f ms | energy %.3f mJ | area %.2f mm^2 | EDAP %.2f\n",
+              best.metrics.latency_ms, best.metrics.energy_mj,
+              best.metrics.area_mm2, best.metrics.edap());
+  return 0;
+}

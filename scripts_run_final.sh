@@ -1,0 +1,8 @@
+#!/bin/sh
+cd /root/repo || exit 1
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+for b in build/bench/bench_*; do
+  echo "===== $b ====="
+  timeout 2400 "$b"
+done 2>&1 | tee /root/repo/bench_output.txt
+echo DONE_ALL > /root/repo/final_run.done

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace dance::accel {
+
+/// Loop-ordering strategies (§2.2): which operand stays resident in the PE
+/// register file.
+enum class Dataflow {
+  kWeightStationary,  ///< WS — TPU-style (Jouppi et al. 2017)
+  kOutputStationary,  ///< OS — ShiDianNao-style (Du et al. 2015)
+  kRowStationary,     ///< RS — Eyeriss-style (Chen et al. 2016)
+};
+
+inline constexpr std::array<Dataflow, 3> kAllDataflows = {
+    Dataflow::kWeightStationary, Dataflow::kOutputStationary,
+    Dataflow::kRowStationary};
+
+[[nodiscard]] std::string to_string(Dataflow df);
+
+/// One point in the hardware search space H (§4.1 of the paper):
+/// a two-dimensional PE array (PE_X x PE_Y), a per-PE register file and a
+/// dataflow, on an Eyeriss-like backbone.
+struct AcceleratorConfig {
+  int pe_x = 16;      ///< 8..24; favours channel parallelism
+  int pe_y = 16;      ///< 8..24; favours spatial parallelism
+  int rf_size = 32;   ///< words per PE, 4..64
+  Dataflow dataflow = Dataflow::kRowStationary;
+
+  [[nodiscard]] int num_pes() const { return pe_x * pe_y; }
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const AcceleratorConfig&) const = default;
+};
+
+/// Technology constants for the Accelergy-style energy/area tables.
+/// Values are representative of a 45nm-class process (McPAT/Accelergy
+/// ballpark); absolute calibration does not matter for the reproduction,
+/// only the relative scaling between components.
+struct TechnologyParams {
+  double clock_ghz = 1.0;
+
+  // Energy per access (pJ).
+  double mac_energy_pj = 1.0;
+  double rf_energy_base_pj = 0.3;     ///< fixed cost of an RF access
+  double rf_energy_per_word_pj = 0.010;  ///< RF access cost grows with RF size
+  double gb_energy_pj = 12.0;         ///< on-chip global buffer access
+  double dram_energy_pj = 200.0;      ///< off-chip access
+  double noc_energy_per_hop_pj = 0.05;
+
+  // Area (mm^2).
+  double mac_area_mm2 = 0.008;
+  double rf_area_per_word_mm2 = 0.0006;
+  double pe_control_area_mm2 = 0.004;
+  double gb_area_mm2 = 2.5;           ///< fixed global buffer
+  double noc_area_per_pe_mm2 = 0.0015;
+
+  // Bandwidths (words per cycle).
+  double dram_bandwidth = 16.0;
+  double gb_bandwidth = 64.0;
+};
+
+}  // namespace dance::accel

@@ -1,0 +1,15 @@
+#include "accel/conv_shape.h"
+
+#include <sstream>
+
+namespace dance::accel {
+
+std::string ConvShape::to_string() const {
+  std::ostringstream os;
+  os << "Conv(N=" << n << " K=" << k << " C=" << c << " H=" << h << " W=" << w
+     << " R=" << r << " S=" << s << " stride=" << stride << " groups=" << groups
+     << ")";
+  return os.str();
+}
+
+}  // namespace dance::accel

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dance::accel {
+
+/// The seven dimensions of a convolutional layer (Fig. 1a of the paper):
+/// input activations (H, W, C), weights (R, S, K), batch (N), plus the
+/// stride and group count needed to lower MBConv blocks (the depthwise
+/// stage is a grouped convolution with groups == C).
+struct ConvShape {
+  int n = 1;   ///< batch
+  int k = 1;   ///< output channels
+  int c = 1;   ///< input channels
+  int h = 1;   ///< input height
+  int w = 1;   ///< input width
+  int r = 1;   ///< filter height
+  int s = 1;   ///< filter width
+  int stride = 1;
+  int groups = 1;
+
+  /// Output spatial dims ("same" padding, as in the MBConv backbone).
+  [[nodiscard]] int out_h() const { return (h + stride - 1) / stride; }
+  [[nodiscard]] int out_w() const { return (w + stride - 1) / stride; }
+
+  /// Channels per group seen by one filter.
+  [[nodiscard]] int c_per_group() const { return c / groups; }
+
+  /// Total multiply-accumulate operations.
+  [[nodiscard]] std::int64_t macs() const {
+    return static_cast<std::int64_t>(n) * k * c_per_group() * out_h() * out_w() *
+           r * s;
+  }
+
+  /// Weight, input and output tensor volumes (words).
+  [[nodiscard]] std::int64_t weight_volume() const {
+    return static_cast<std::int64_t>(k) * c_per_group() * r * s;
+  }
+  [[nodiscard]] std::int64_t input_volume() const {
+    return static_cast<std::int64_t>(n) * c * h * w;
+  }
+  [[nodiscard]] std::int64_t output_volume() const {
+    return static_cast<std::int64_t>(n) * k * out_h() * out_w();
+  }
+
+  [[nodiscard]] bool valid() const {
+    return n > 0 && k > 0 && c > 0 && h > 0 && w > 0 && r > 0 && s > 0 &&
+           stride > 0 && groups > 0 && c % groups == 0 && k % groups == 0;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const ConvShape&) const = default;
+};
+
+}  // namespace dance::accel

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+
+#include "accel/cost_model.h"
+
+namespace dance::accel {
+
+/// Weights of the linear hardware cost function (Eq. 3):
+///   Cost = lambda_e * Energy + lambda_l * Latency + lambda_a * Area.
+/// Defaults are the paper's Table 2 setting (lambda_L=4.1, lambda_E=4.8,
+/// lambda_A=1.0), applied to (ms, mJ, mm^2).
+struct LinearCostWeights {
+  double lambda_l = 4.1;
+  double lambda_e = 4.8;
+  double lambda_a = 1.0;
+};
+
+/// Scalar hardware cost function Cost_HW of Eq. 1.
+using HwCostFn = std::function<double(const CostMetrics&)>;
+
+/// Eq. 3 linear combination.
+[[nodiscard]] inline HwCostFn linear_cost(LinearCostWeights w = {}) {
+  return [w](const CostMetrics& m) {
+    return w.lambda_l * m.latency_ms + w.lambda_e * m.energy_mj +
+           w.lambda_a * m.area_mm2;
+  };
+}
+
+/// Eq. 4 energy-delay-area product (hyper-parameter free, unitless).
+[[nodiscard]] inline HwCostFn edap_cost() {
+  return [](const CostMetrics& m) { return m.edap(); };
+}
+
+}  // namespace dance::accel

@@ -1,0 +1,93 @@
+#include "arch/backbone.h"
+
+#include <stdexcept>
+
+namespace dance::arch {
+
+namespace {
+
+/// Shared builder: stem conv + fixed MBConv, three searchable stages of three
+/// layers (first layer of each stage changes channels with stride 2), fixed
+/// MBConv + plain 1x1 head.
+BackboneSpec build(const std::string& name, int resolution, int num_classes,
+                   int stem_ch, int early_ch, const std::vector<int>& stage_ch,
+                   int tail_ch, int head_ch) {
+  if (stage_ch.size() != 3) throw std::invalid_argument("build: need 3 stages");
+  BackboneSpec spec;
+  spec.name = name;
+  spec.input_resolution = resolution;
+  spec.num_classes = num_classes;
+
+  int h = resolution;
+  int ch = 3;
+
+  auto push = [&](LayerSpec l) {
+    l.in_h = h;
+    l.in_w = h;
+    l.in_channels = ch;
+    spec.layers.push_back(l);
+    h = (h + l.stride - 1) / l.stride;
+    ch = l.out_channels;
+  };
+
+  // L0: plain 3x3 stem convolution.
+  {
+    LayerSpec l;
+    l.out_channels = stem_ch;
+    l.stride = (resolution > 64) ? 2 : 1;  // ImageNet stems downsample
+    l.plain_conv = true;
+    l.fixed_kernel = 3;
+    push(l);
+  }
+  // L1: fixed MBConv k3 e1.
+  {
+    LayerSpec l;
+    l.out_channels = early_ch;
+    l.fixed_kernel = 3;
+    l.fixed_expand = 1;
+    push(l);
+  }
+  // L2..L10: three searchable stages of three layers.
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int i = 0; i < 3; ++i) {
+      LayerSpec l;
+      l.out_channels = stage_ch[static_cast<std::size_t>(stage)];
+      l.stride = (i == 0) ? 2 : 1;
+      l.searchable = true;
+      push(l);
+    }
+  }
+  // L11: fixed MBConv k3 e6.
+  {
+    LayerSpec l;
+    l.out_channels = tail_ch;
+    l.fixed_kernel = 3;
+    l.fixed_expand = 6;
+    push(l);
+  }
+  // L12: plain 1x1 feature-mixing head.
+  {
+    LayerSpec l;
+    l.out_channels = head_ch;
+    l.plain_conv = true;
+    l.fixed_kernel = 1;
+    push(l);
+  }
+  return spec;
+}
+
+}  // namespace
+
+BackboneSpec cifar10_backbone() {
+  return build("cifar10", /*resolution=*/32, /*num_classes=*/10,
+               /*stem_ch=*/32, /*early_ch=*/16, /*stage_ch=*/{24, 40, 80},
+               /*tail_ch=*/96, /*head_ch=*/320);
+}
+
+BackboneSpec imagenet_backbone() {
+  return build("imagenet", /*resolution=*/224, /*num_classes=*/1000,
+               /*stem_ch=*/32, /*early_ch=*/16, /*stage_ch=*/{32, 64, 128},
+               /*tail_ch=*/192, /*head_ch=*/960);
+}
+
+}  // namespace dance::arch

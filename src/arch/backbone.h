@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/ops.h"
+
+namespace dance::arch {
+
+/// One position of the 13-layer ProxylessNAS-style backbone (§4.1).
+struct LayerSpec {
+  int in_channels = 1;
+  int out_channels = 1;
+  int stride = 1;
+  int in_h = 1;  ///< input feature-map height at this position
+  int in_w = 1;  ///< input feature-map width at this position
+  bool searchable = false;
+  /// For fixed (non-searchable) positions only:
+  bool plain_conv = false;  ///< a plain KxK conv instead of an MBConv block
+  int fixed_kernel = 3;
+  int fixed_expand = 1;
+};
+
+/// The network backbone: a fixed stem/tail plus 9 searchable middle layers
+/// whose channel count rises every three layers.
+struct BackboneSpec {
+  std::string name;
+  int input_resolution = 32;
+  int num_classes = 10;
+  int batch = 1;  ///< inference batch used for hardware evaluation
+  std::vector<LayerSpec> layers;
+
+  [[nodiscard]] int num_searchable() const {
+    int n = 0;
+    for (const auto& l : layers) n += l.searchable ? 1 : 0;
+    return n;
+  }
+
+  /// Indices (into `layers`) of the searchable positions, in order.
+  [[nodiscard]] std::vector<int> searchable_positions() const {
+    std::vector<int> out;
+    for (int i = 0; i < static_cast<int>(layers.size()); ++i) {
+      if (layers[static_cast<std::size_t>(i)].searchable) out.push_back(i);
+    }
+    return out;
+  }
+};
+
+/// CIFAR-10 backbone: 32x32 input, 13 layers, 9 searchable, channels
+/// {16 -> 24 -> 40 -> 80} rising every 3 searchable layers with stride-2
+/// reductions at each rise.
+[[nodiscard]] BackboneSpec cifar10_backbone();
+
+/// ImageNet backbone: 224x224 input, same topology scaled up in width and
+/// resolution (used for the Table 4 experiment).
+[[nodiscard]] BackboneSpec imagenet_backbone();
+
+}  // namespace dance::arch

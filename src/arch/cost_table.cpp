@@ -1,0 +1,132 @@
+#include "arch/cost_table.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace dance::arch {
+
+CostTable::CostTable(const ArchSpace& arch_space,
+                     const hwgen::HwSearchSpace& hw_space,
+                     const accel::CostModel& model)
+    : arch_space_(arch_space),
+      hw_space_(hw_space),
+      model_(model),
+      num_configs_(hw_space.size()) {
+  const int slots = arch_space_.num_searchable();
+  fixed_cycles_.assign(num_configs_, 0.0);
+  fixed_energy_.assign(num_configs_, 0.0);
+  area_.assign(num_configs_, 0.0);
+  choice_cycles_.assign(static_cast<std::size_t>(slots) * kNumCandidateOps *
+                            num_configs_,
+                        0.0);
+  choice_energy_.assign(choice_cycles_.size(), 0.0);
+
+  // Pre-lower every choice once; the config loop is the hot one.
+  std::vector<std::vector<std::vector<accel::ConvShape>>> choice_shapes(
+      static_cast<std::size_t>(slots));
+  for (int slot = 0; slot < slots; ++slot) {
+    auto& per_op = choice_shapes[static_cast<std::size_t>(slot)];
+    per_op.resize(kNumCandidateOps);
+    for (int op = 0; op < kNumCandidateOps; ++op) {
+      per_op[static_cast<std::size_t>(op)] = arch_space_.lower_choice(
+          slot, kAllCandidateOps[static_cast<std::size_t>(op)]);
+    }
+  }
+
+  for (std::size_t ci = 0; ci < num_configs_; ++ci) {
+    const accel::AcceleratorConfig config = hw_space_.config_at(ci);
+    area_[ci] = model_.area_mm2(config);
+    for (const auto& shape : arch_space_.fixed_shapes()) {
+      const accel::LayerCost lc = model_.layer_cost(config, shape);
+      fixed_cycles_[ci] += lc.cycles;
+      fixed_energy_[ci] += lc.energy_pj;
+    }
+    for (int slot = 0; slot < slots; ++slot) {
+      for (int op = 0; op < kNumCandidateOps; ++op) {
+        double cycles = 0.0;
+        double energy = 0.0;
+        for (const auto& shape :
+             choice_shapes[static_cast<std::size_t>(slot)][static_cast<std::size_t>(op)]) {
+          const accel::LayerCost lc = model_.layer_cost(config, shape);
+          cycles += lc.cycles;
+          energy += lc.energy_pj;
+        }
+        choice_cycles_[slot_offset(slot, op) + ci] = cycles;
+        choice_energy_[slot_offset(slot, op) + ci] = energy;
+      }
+    }
+  }
+}
+
+accel::CostMetrics CostTable::metrics(std::size_t config_index,
+                                      const Architecture& a) const {
+  arch_space_.validate(a);
+  if (config_index >= num_configs_) {
+    throw std::out_of_range("CostTable::metrics: bad config index");
+  }
+  double cycles = fixed_cycles_[config_index];
+  double energy = fixed_energy_[config_index];
+  for (int slot = 0; slot < arch_space_.num_searchable(); ++slot) {
+    const int op = static_cast<int>(a[static_cast<std::size_t>(slot)]);
+    cycles += choice_cycles_[slot_offset(slot, op) + config_index];
+    energy += choice_energy_[slot_offset(slot, op) + config_index];
+  }
+  accel::CostMetrics m;
+  m.latency_ms = cycles / (model_.tech().clock_ghz * 1e6);
+  m.energy_mj = energy * 1e-9;
+  m.area_mm2 = area_[config_index];
+  return m;
+}
+
+std::vector<accel::CostMetrics> CostTable::evaluate_all(
+    const Architecture& a) const {
+  std::vector<accel::CostMetrics> out(num_configs_);
+  for (std::size_t ci = 0; ci < num_configs_; ++ci) out[ci] = metrics(ci, a);
+  return out;
+}
+
+hwgen::HwSearchResult CostTable::optimal(const Architecture& a,
+                                         const accel::HwCostFn& cost_fn) const {
+  hwgen::HwSearchResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (std::size_t ci = 0; ci < num_configs_; ++ci) {
+    const accel::CostMetrics m = metrics(ci, a);
+    const double cost = cost_fn(m);
+    if (cost < best.cost) {
+      best = hwgen::HwSearchResult{hw_space_.config_at(ci), m, cost};
+    }
+  }
+  return best;
+}
+
+accel::CostMetrics CostTable::expected_metrics(
+    std::size_t config_index,
+    const std::vector<std::vector<double>>& probs) const {
+  if (static_cast<int>(probs.size()) != arch_space_.num_searchable()) {
+    throw std::invalid_argument("CostTable::expected_metrics: slot mismatch");
+  }
+  if (config_index >= num_configs_) {
+    throw std::out_of_range("CostTable::expected_metrics: bad config index");
+  }
+  double cycles = fixed_cycles_[config_index];
+  double energy = fixed_energy_[config_index];
+  for (int slot = 0; slot < arch_space_.num_searchable(); ++slot) {
+    const auto& p = probs[static_cast<std::size_t>(slot)];
+    if (static_cast<int>(p.size()) != kNumCandidateOps) {
+      throw std::invalid_argument("CostTable::expected_metrics: op mismatch");
+    }
+    for (int op = 0; op < kNumCandidateOps; ++op) {
+      cycles += p[static_cast<std::size_t>(op)] *
+                choice_cycles_[slot_offset(slot, op) + config_index];
+      energy += p[static_cast<std::size_t>(op)] *
+                choice_energy_[slot_offset(slot, op) + config_index];
+    }
+  }
+  accel::CostMetrics m;
+  m.latency_ms = cycles / (model_.tech().clock_ghz * 1e6);
+  m.energy_mj = energy * 1e-9;
+  m.area_mm2 = area_[config_index];
+  return m;
+}
+
+}  // namespace dance::arch

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "accel/cost_function.h"
+#include "accel/cost_model.h"
+#include "arch/space.h"
+#include "hwgen/exhaustive.h"
+#include "hwgen/search_space.h"
+
+namespace dance::arch {
+
+/// Precomputed per-(slot, candidate-op, hardware-config) layer costs.
+///
+/// The exhaustive hardware generation tool evaluates every configuration in
+/// H for every candidate network; since a backbone position contributes the
+/// same convolution shapes for a given op regardless of the rest of the
+/// architecture, the (slot, op, config) costs can be tabulated once. An
+/// architecture's cost under any config is then a 9-term table sum, which
+/// makes exhaustive ground-truth generation for the evaluator training set
+/// tractable (DESIGN.md §7). The results are bit-identical to running the
+/// cost model directly.
+class CostTable {
+ public:
+  CostTable(const ArchSpace& arch_space, const hwgen::HwSearchSpace& hw_space,
+            const accel::CostModel& model);
+
+  /// Network metrics of `a` on configuration `config_index`.
+  [[nodiscard]] accel::CostMetrics metrics(std::size_t config_index,
+                                           const Architecture& a) const;
+
+  /// Metrics of `a` on every configuration, in space order.
+  [[nodiscard]] std::vector<accel::CostMetrics> evaluate_all(
+      const Architecture& a) const;
+
+  /// Exact hardware generation (arg-min over the whole space) via the table.
+  [[nodiscard]] hwgen::HwSearchResult optimal(const Architecture& a,
+                                              const accel::HwCostFn& cost_fn) const;
+
+  /// Expected metrics under per-slot op probability distributions
+  /// `probs[slot][op]` for a fixed config — the differentiable relaxation's
+  /// exact counterpart, used to sanity-check the evaluator network.
+  [[nodiscard]] accel::CostMetrics expected_metrics(
+      std::size_t config_index,
+      const std::vector<std::vector<double>>& probs) const;
+
+  [[nodiscard]] const hwgen::HwSearchSpace& hw_space() const { return hw_space_; }
+  [[nodiscard]] const ArchSpace& arch_space() const { return arch_space_; }
+
+ private:
+  [[nodiscard]] std::size_t slot_offset(int slot, int op) const {
+    return (static_cast<std::size_t>(slot) * kNumCandidateOps +
+            static_cast<std::size_t>(op)) *
+           num_configs_;
+  }
+
+  const ArchSpace& arch_space_;
+  const hwgen::HwSearchSpace& hw_space_;
+  const accel::CostModel& model_;
+  std::size_t num_configs_;
+  std::vector<double> fixed_cycles_;   ///< [config]
+  std::vector<double> fixed_energy_;   ///< [config] (pJ)
+  std::vector<double> choice_cycles_;  ///< [slot][op][config]
+  std::vector<double> choice_energy_;  ///< [slot][op][config] (pJ)
+  std::vector<double> area_;           ///< [config] (mm^2)
+};
+
+}  // namespace dance::arch

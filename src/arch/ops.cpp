@@ -1,0 +1,18 @@
+#include "arch/ops.h"
+
+namespace dance::arch {
+
+std::string to_string(CandidateOp op) {
+  switch (op) {
+    case CandidateOp::kMbConv3x3E3: return "MBConv3x3_e3";
+    case CandidateOp::kMbConv3x3E6: return "MBConv3x3_e6";
+    case CandidateOp::kMbConv5x5E3: return "MBConv5x5_e3";
+    case CandidateOp::kMbConv5x5E6: return "MBConv5x5_e6";
+    case CandidateOp::kMbConv7x7E3: return "MBConv7x7_e3";
+    case CandidateOp::kMbConv7x7E6: return "MBConv7x7_e6";
+    case CandidateOp::kZero: return "Zero";
+  }
+  return "??";
+}
+
+}  // namespace dance::arch

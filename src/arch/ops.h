@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace dance::arch {
+
+/// Candidate operations of a searchable layer (§4.1): six mobile inverted
+/// bottleneck variants plus Zero. When Zero is chosen only the skip
+/// connection remains and the layer disappears from the network.
+enum class CandidateOp {
+  kMbConv3x3E3,
+  kMbConv3x3E6,
+  kMbConv5x5E3,
+  kMbConv5x5E6,
+  kMbConv7x7E3,
+  kMbConv7x7E6,
+  kZero,
+};
+
+inline constexpr int kNumCandidateOps = 7;
+
+inline constexpr std::array<CandidateOp, kNumCandidateOps> kAllCandidateOps = {
+    CandidateOp::kMbConv3x3E3, CandidateOp::kMbConv3x3E6,
+    CandidateOp::kMbConv5x5E3, CandidateOp::kMbConv5x5E6,
+    CandidateOp::kMbConv7x7E3, CandidateOp::kMbConv7x7E6,
+    CandidateOp::kZero};
+
+[[nodiscard]] constexpr bool is_zero(CandidateOp op) {
+  return op == CandidateOp::kZero;
+}
+
+/// Depthwise kernel size (R = S); 0 for Zero.
+[[nodiscard]] constexpr int kernel_size(CandidateOp op) {
+  switch (op) {
+    case CandidateOp::kMbConv3x3E3:
+    case CandidateOp::kMbConv3x3E6: return 3;
+    case CandidateOp::kMbConv5x5E3:
+    case CandidateOp::kMbConv5x5E6: return 5;
+    case CandidateOp::kMbConv7x7E3:
+    case CandidateOp::kMbConv7x7E6: return 7;
+    case CandidateOp::kZero: return 0;
+  }
+  return 0;
+}
+
+/// Bottleneck expansion ratio; 0 for Zero.
+[[nodiscard]] constexpr int expand_ratio(CandidateOp op) {
+  switch (op) {
+    case CandidateOp::kMbConv3x3E3:
+    case CandidateOp::kMbConv5x5E3:
+    case CandidateOp::kMbConv7x7E3: return 3;
+    case CandidateOp::kMbConv3x3E6:
+    case CandidateOp::kMbConv5x5E6:
+    case CandidateOp::kMbConv7x7E6: return 6;
+    case CandidateOp::kZero: return 0;
+  }
+  return 0;
+}
+
+[[nodiscard]] std::string to_string(CandidateOp op);
+
+}  // namespace dance::arch

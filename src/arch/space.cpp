@@ -1,0 +1,129 @@
+#include "arch/space.h"
+
+#include <stdexcept>
+
+namespace dance::arch {
+
+namespace {
+
+std::vector<accel::ConvShape> lower_mbconv(const LayerSpec& l, int batch,
+                                           int kernel, int expand) {
+  std::vector<accel::ConvShape> shapes;
+  const int mid = l.in_channels * expand;
+  if (expand != 1) {
+    // 1x1 expansion (pointwise).
+    shapes.push_back(accel::ConvShape{batch, mid, l.in_channels, l.in_h, l.in_w,
+                                      1, 1, /*stride=*/1, /*groups=*/1});
+  }
+  // KxK depthwise, carries the layer stride.
+  shapes.push_back(accel::ConvShape{batch, mid, mid, l.in_h, l.in_w, kernel,
+                                    kernel, l.stride, /*groups=*/mid});
+  // 1x1 projection at the output resolution.
+  const int out_h = (l.in_h + l.stride - 1) / l.stride;
+  const int out_w = (l.in_w + l.stride - 1) / l.stride;
+  shapes.push_back(accel::ConvShape{batch, l.out_channels, mid, out_h, out_w, 1,
+                                    1, /*stride=*/1, /*groups=*/1});
+  return shapes;
+}
+
+}  // namespace
+
+std::vector<accel::ConvShape> lower_layer(const LayerSpec& layer, int batch,
+                                          CandidateOp op) {
+  if (is_zero(op)) return {};
+  return lower_mbconv(layer, batch, kernel_size(op), expand_ratio(op));
+}
+
+std::vector<accel::ConvShape> lower_fixed_layer(const LayerSpec& layer,
+                                                int batch) {
+  if (layer.plain_conv) {
+    return {accel::ConvShape{batch, layer.out_channels, layer.in_channels,
+                             layer.in_h, layer.in_w, layer.fixed_kernel,
+                             layer.fixed_kernel, layer.stride, /*groups=*/1}};
+  }
+  return lower_mbconv(layer, batch, layer.fixed_kernel, layer.fixed_expand);
+}
+
+ArchSpace::ArchSpace(BackboneSpec spec) : spec_(std::move(spec)) {
+  searchable_positions_ = spec_.searchable_positions();
+  num_searchable_ = static_cast<int>(searchable_positions_.size());
+  if (num_searchable_ == 0) {
+    throw std::invalid_argument("ArchSpace: backbone has no searchable layers");
+  }
+  for (const auto& l : spec_.layers) {
+    if (l.searchable) continue;
+    for (auto& s : lower_fixed_layer(l, spec_.batch)) fixed_shapes_.push_back(s);
+  }
+}
+
+Architecture ArchSpace::random(util::Rng& rng) const {
+  Architecture a(static_cast<std::size_t>(num_searchable_));
+  for (auto& op : a) {
+    op = kAllCandidateOps[static_cast<std::size_t>(
+        rng.randint(0, kNumCandidateOps - 1))];
+  }
+  return a;
+}
+
+void ArchSpace::validate(const Architecture& a) const {
+  if (static_cast<int>(a.size()) != num_searchable_) {
+    throw std::invalid_argument("ArchSpace: architecture length mismatch");
+  }
+}
+
+std::vector<float> ArchSpace::encode(const Architecture& a) const {
+  validate(a);
+  std::vector<float> enc(static_cast<std::size_t>(encoding_width()), 0.0F);
+  for (int i = 0; i < num_searchable_; ++i) {
+    const int op = static_cast<int>(a[static_cast<std::size_t>(i)]);
+    enc[static_cast<std::size_t>(i * kNumCandidateOps + op)] = 1.0F;
+  }
+  return enc;
+}
+
+Architecture ArchSpace::decode(const std::vector<float>& enc) const {
+  if (static_cast<int>(enc.size()) != encoding_width()) {
+    throw std::invalid_argument("ArchSpace::decode: encoding width mismatch");
+  }
+  Architecture a(static_cast<std::size_t>(num_searchable_));
+  for (int i = 0; i < num_searchable_; ++i) {
+    int arg = 0;
+    for (int j = 1; j < kNumCandidateOps; ++j) {
+      if (enc[static_cast<std::size_t>(i * kNumCandidateOps + j)] >
+          enc[static_cast<std::size_t>(i * kNumCandidateOps + arg)]) {
+        arg = j;
+      }
+    }
+    a[static_cast<std::size_t>(i)] = kAllCandidateOps[static_cast<std::size_t>(arg)];
+  }
+  return a;
+}
+
+std::vector<accel::ConvShape> ArchSpace::lower_choice(int slot,
+                                                      CandidateOp op) const {
+  if (slot < 0 || slot >= num_searchable_) {
+    throw std::out_of_range("ArchSpace::lower_choice: bad slot");
+  }
+  const auto& layer =
+      spec_.layers[static_cast<std::size_t>(searchable_positions_[static_cast<std::size_t>(slot)])];
+  return lower_layer(layer, spec_.batch, op);
+}
+
+std::vector<accel::ConvShape> ArchSpace::lower(const Architecture& a) const {
+  validate(a);
+  std::vector<accel::ConvShape> shapes = fixed_shapes_;
+  for (int i = 0; i < num_searchable_; ++i) {
+    for (auto& s : lower_choice(i, a[static_cast<std::size_t>(i)])) {
+      shapes.push_back(s);
+    }
+  }
+  return shapes;
+}
+
+std::int64_t ArchSpace::macs(const Architecture& a) const {
+  std::int64_t total = 0;
+  for (const auto& s : lower(a)) total += s.macs();
+  return total;
+}
+
+}  // namespace dance::arch

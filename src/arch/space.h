@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/conv_shape.h"
+#include "arch/backbone.h"
+#include "util/rng.h"
+
+namespace dance::arch {
+
+/// A concrete architecture: one candidate op per searchable position.
+using Architecture = std::vector<CandidateOp>;
+
+/// The network architecture search space A: the backbone plus the per-layer
+/// candidate choices, with helpers to sample, encode and lower architectures.
+class ArchSpace {
+ public:
+  explicit ArchSpace(BackboneSpec spec);
+
+  [[nodiscard]] const BackboneSpec& backbone() const { return spec_; }
+  [[nodiscard]] int num_searchable() const { return num_searchable_; }
+
+  /// Flattened one-hot width: num_searchable * kNumCandidateOps. This is the
+  /// evaluator network's input encoding of an architecture.
+  [[nodiscard]] int encoding_width() const {
+    return num_searchable_ * kNumCandidateOps;
+  }
+
+  /// Uniform random architecture.
+  [[nodiscard]] Architecture random(util::Rng& rng) const;
+
+  /// Concatenated per-layer one-hot encoding.
+  [[nodiscard]] std::vector<float> encode(const Architecture& a) const;
+
+  /// Inverse of encode: per-layer argmax.
+  [[nodiscard]] Architecture decode(const std::vector<float>& enc) const;
+
+  /// Lower the architecture to the full list of convolution shapes seen by
+  /// the accelerator (fixed stem/tail layers included; Zero layers vanish —
+  /// their skip connection is an average-pool + channel-pad shortcut which
+  /// is MAC-free).
+  [[nodiscard]] std::vector<accel::ConvShape> lower(const Architecture& a) const;
+
+  /// Convolution shapes of the candidate `op` at searchable slot `slot`
+  /// (empty for Zero). Slot indexes the searchable layers 0..8, not the raw
+  /// backbone position.
+  [[nodiscard]] std::vector<accel::ConvShape> lower_choice(int slot,
+                                                           CandidateOp op) const;
+
+  /// Convolution shapes of the fixed (non-searchable) layers.
+  [[nodiscard]] const std::vector<accel::ConvShape>& fixed_shapes() const {
+    return fixed_shapes_;
+  }
+
+  /// Total multiply-accumulates of an architecture (used by the FLOPs
+  /// penalty baseline; FLOPs = 2 * MACs).
+  [[nodiscard]] std::int64_t macs(const Architecture& a) const;
+
+  void validate(const Architecture& a) const;
+
+ private:
+  BackboneSpec spec_;
+  int num_searchable_;
+  std::vector<int> searchable_positions_;
+  std::vector<accel::ConvShape> fixed_shapes_;
+};
+
+/// Lower one backbone layer occupied by `op` (MBConv expand/depthwise/project
+/// triplet, plain conv, or nothing for Zero).
+[[nodiscard]] std::vector<accel::ConvShape> lower_layer(const LayerSpec& layer,
+                                                        int batch,
+                                                        CandidateOp op);
+
+/// Lower a fixed layer using its built-in kernel/expansion.
+[[nodiscard]] std::vector<accel::ConvShape> lower_fixed_layer(
+    const LayerSpec& layer, int batch);
+
+}  // namespace dance::arch

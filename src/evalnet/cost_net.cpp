@@ -1,0 +1,87 @@
+#include "evalnet/cost_net.h"
+
+#include <stdexcept>
+
+#include "nn/serialize.h"
+
+namespace dance::evalnet {
+
+namespace ops = tensor::ops;
+
+CostNet::CostNet(int arch_encoding_width, int hw_encoding_width, util::Rng& rng)
+    : CostNet(arch_encoding_width, hw_encoding_width, rng, Options{}) {}
+
+CostNet::CostNet(int arch_encoding_width, int hw_encoding_width, util::Rng& rng,
+                 const Options& opts)
+    : opts_(opts) {
+  nn::ResidualMlpConfig cfg;
+  cfg.in_dim = arch_encoding_width +
+               (opts.feature_forwarding ? hw_encoding_width : 0);
+  cfg.hidden_dim = opts.hidden_dim;
+  cfg.num_layers = opts.num_layers;
+  cfg.out_dim = 3;
+  cfg.batch_norm = true;  // paper: batch normalization every layer
+  trunk_ = std::make_unique<nn::ResidualMlp>(cfg, rng);
+}
+
+tensor::Variable CostNet::forward(const tensor::Variable& arch_enc,
+                                  const tensor::Variable& hw_enc) {
+  tensor::Variable raw;
+  if (opts_.feature_forwarding) {
+    if (!hw_enc.defined()) {
+      throw std::invalid_argument("CostNet: feature forwarding needs hw_enc");
+    }
+    raw = trunk_->forward(ops::concat_cols({arch_enc, hw_enc}));
+  } else {
+    raw = trunk_->forward(arch_enc);
+  }
+  tensor::Tensor row = tensor::Tensor::from(
+      {3}, {static_cast<float>(scale_[0]), static_cast<float>(scale_[1]),
+            static_cast<float>(scale_[2])});
+  return ops::mul_rowvec(raw, row);
+}
+
+void CostNet::set_output_scale(const std::array<double, 3>& scale) {
+  for (double s : scale) {
+    if (s <= 0.0) throw std::invalid_argument("CostNet: scale must be positive");
+  }
+  scale_ = scale;
+}
+
+std::vector<tensor::Variable> CostNet::parameters() {
+  return trunk_->parameters();
+}
+
+namespace {
+std::vector<tensor::Tensor*> full_state(nn::ResidualMlp& trunk,
+                                        std::vector<tensor::Variable>& params,
+                                        tensor::Tensor& scale) {
+  std::vector<tensor::Tensor*> state;
+  for (auto& p : params) state.push_back(&p.value());
+  for (auto* b : trunk.buffers()) state.push_back(b);
+  state.push_back(&scale);
+  return state;
+}
+}  // namespace
+
+void CostNet::save(const std::string& path) {
+  auto params = trunk_->parameters();
+  tensor::Tensor scale = tensor::Tensor::from(
+      {3}, {static_cast<float>(scale_[0]), static_cast<float>(scale_[1]),
+            static_cast<float>(scale_[2])});
+  const auto state = full_state(*trunk_, params, scale);
+  nn::save_tensors(path, {state.begin(), state.end()});
+}
+
+void CostNet::load(const std::string& path) {
+  auto params = trunk_->parameters();
+  tensor::Tensor scale = tensor::Tensor::zeros({3});
+  const auto state = full_state(*trunk_, params, scale);
+  nn::load_tensors(path, state);
+  set_output_scale({static_cast<double>(scale[0]), static_cast<double>(scale[1]),
+                    static_cast<double>(scale[2])});
+}
+
+void CostNet::set_training(bool training) { trunk_->set_training(training); }
+
+}  // namespace dance::evalnet

@@ -1,0 +1,40 @@
+#include "evalnet/evaluator.h"
+
+namespace dance::evalnet {
+
+Evaluator::Evaluator(int arch_encoding_width, const hwgen::HwSearchSpace& space,
+                     util::Rng& rng)
+    : Evaluator(arch_encoding_width, space, rng, Options{}) {}
+
+Evaluator::Evaluator(int arch_encoding_width, const hwgen::HwSearchSpace& space,
+                     util::Rng& rng, const Options& opts)
+    : opts_(opts) {
+  hwgen_ = std::make_unique<HwGenNet>(arch_encoding_width, space, rng, opts.hwgen);
+  cost_ = std::make_unique<CostNet>(arch_encoding_width, space.encoding_width(),
+                                    rng, opts.cost);
+}
+
+Evaluator::Output Evaluator::forward(const tensor::Variable& arch_enc,
+                                     util::Rng& rng) {
+  Output out;
+  out.hw_encoding = hwgen_->forward_encoded(arch_enc, opts_.gumbel_tau,
+                                            opts_.gumbel_hard, rng);
+  if (cost_->feature_forwarding()) {
+    out.metrics = cost_->forward(arch_enc, out.hw_encoding);
+  } else {
+    out.metrics = cost_->forward(arch_enc, tensor::Variable{});
+  }
+  return out;
+}
+
+void Evaluator::set_frozen(bool frozen) {
+  for (auto& p : hwgen_->parameters()) p.node()->requires_grad = !frozen;
+  for (auto& p : cost_->parameters()) p.node()->requires_grad = !frozen;
+}
+
+void Evaluator::set_training(bool training) {
+  hwgen_->set_training(training);
+  cost_->set_training(training);
+}
+
+}  // namespace dance::evalnet

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+
+#include "evalnet/cost_net.h"
+#include "evalnet/hwgen_net.h"
+
+namespace dance::evalnet {
+
+/// The full differentiable evaluator of Fig. 4: hardware generation network
+/// -> Gumbel-softmax -> (feature forwarding) -> cost estimation network.
+/// Once trained it is frozen and spliced into the NAS loss so that hardware
+/// cost gradients flow back into the architecture parameters.
+class Evaluator {
+ public:
+  struct Options {
+    HwGenNet::Options hwgen;
+    CostNet::Options cost;
+    float gumbel_tau = 1.0F;
+    bool gumbel_hard = false;  ///< soft during search keeps gradients smooth
+  };
+
+  Evaluator(int arch_encoding_width, const hwgen::HwSearchSpace& space,
+            util::Rng& rng);
+  Evaluator(int arch_encoding_width, const hwgen::HwSearchSpace& space,
+            util::Rng& rng, const Options& opts);
+
+  struct Output {
+    tensor::Variable hw_encoding;  ///< [N, hw_width] near-one-hot config
+    tensor::Variable metrics;      ///< [N, 3] latency_ms, energy_mj, area_mm2
+  };
+
+  /// Differentiable forward pass from an architecture encoding (which may be
+  /// a soft distribution during search) to predicted cost metrics.
+  [[nodiscard]] Output forward(const tensor::Variable& arch_enc, util::Rng& rng);
+
+  [[nodiscard]] HwGenNet& hwgen_net() { return *hwgen_; }
+  [[nodiscard]] CostNet& cost_net() { return *cost_; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  /// Freeze/unfreeze all parameters (the evaluator is frozen during search).
+  void set_frozen(bool frozen);
+  void set_training(bool training);
+
+ private:
+  Options opts_;
+  std::unique_ptr<HwGenNet> hwgen_;
+  std::unique_ptr<CostNet> cost_;
+};
+
+}  // namespace dance::evalnet

@@ -1,0 +1,89 @@
+#include "evalnet/hwgen_net.h"
+
+#include "nn/serialize.h"
+
+namespace dance::evalnet {
+
+namespace ops = tensor::ops;
+
+HwGenNet::HwGenNet(int arch_encoding_width, const hwgen::HwSearchSpace& space,
+                   util::Rng& rng)
+    : HwGenNet(arch_encoding_width, space, rng, Options{}) {}
+
+HwGenNet::HwGenNet(int arch_encoding_width, const hwgen::HwSearchSpace& space,
+                   util::Rng& rng, const Options& opts)
+    : space_(space) {
+  nn::ResidualMlpConfig cfg;
+  cfg.in_dim = arch_encoding_width;
+  cfg.hidden_dim = opts.hidden_dim;
+  cfg.num_layers = opts.num_layers;
+  cfg.out_dim = space.encoding_width();
+  cfg.batch_norm = false;
+  trunk_ = std::make_unique<nn::ResidualMlp>(cfg, rng);
+}
+
+tensor::Variable HwGenNet::logits(const tensor::Variable& arch_enc) {
+  return trunk_->forward(arch_enc);
+}
+
+std::array<std::pair<int, int>, 4> HwGenNet::head_ranges() const {
+  const int pe = space_.num_pe_choices();
+  const int rf = space_.num_rf_choices();
+  return {std::pair{0, pe}, std::pair{pe, 2 * pe}, std::pair{2 * pe, 2 * pe + rf},
+          std::pair{2 * pe + rf, 2 * pe + rf + 3}};
+}
+
+tensor::Variable HwGenNet::forward_encoded(const tensor::Variable& arch_enc,
+                                           float tau, bool hard,
+                                           util::Rng& rng) {
+  const tensor::Variable lg = logits(arch_enc);
+  std::vector<tensor::Variable> heads;
+  heads.reserve(4);
+  for (const auto& [begin, end] : head_ranges()) {
+    heads.push_back(
+        ops::gumbel_softmax(ops::slice_cols(lg, begin, end), tau, hard, rng));
+  }
+  return ops::concat_cols(heads);
+}
+
+std::vector<accel::AcceleratorConfig> HwGenNet::predict(
+    const tensor::Variable& arch_enc) {
+  const tensor::Variable lg = logits(arch_enc);
+  const auto ranges = head_ranges();
+  const int n = lg.value().rows();
+  std::vector<accel::AcceleratorConfig> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    std::array<int, 4> arg{};
+    for (int h = 0; h < 4; ++h) {
+      const auto [begin, end] = ranges[static_cast<std::size_t>(h)];
+      int best = begin;
+      for (int c = begin + 1; c < end; ++c) {
+        if (lg.value().at(r, c) > lg.value().at(r, best)) best = c;
+      }
+      arg[static_cast<std::size_t>(h)] = best - begin;
+    }
+    out.push_back(accel::AcceleratorConfig{
+        space_.pe_value(arg[0]), space_.pe_value(arg[1]), space_.rf_value(arg[2]),
+        space_.dataflow_value(arg[3])});
+  }
+  return out;
+}
+
+std::vector<tensor::Variable> HwGenNet::parameters() {
+  return trunk_->parameters();
+}
+
+void HwGenNet::set_training(bool training) { trunk_->set_training(training); }
+
+void HwGenNet::save(const std::string& path) {
+  auto params = trunk_->parameters();
+  nn::save_parameters(path, params);
+}
+
+void HwGenNet::load(const std::string& path) {
+  auto params = trunk_->parameters();
+  nn::load_parameters(path, params);
+}
+
+}  // namespace dance::evalnet

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <array>
+
+#include "evalnet/dataset.h"
+#include "evalnet/evaluator.h"
+
+namespace dance::evalnet {
+
+/// Shared knobs for evaluator-component training. Defaults are scaled-down
+/// versions of the paper's settings (§4.2) so benches finish in minutes; the
+/// paper-scale values are noted inline.
+struct TrainOptions {
+  int epochs = 40;        ///< paper: 200
+  int batch_size = 128;   ///< paper: 128 (hwgen) / 256 (cost)
+  float lr = 1e-3F;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+/// Validation results of the hardware generation network: per-head
+/// classification accuracy (%) in the order PEX, PEY, RF, dataflow
+/// (Table 1, "Hardware Generation" block).
+struct HwGenEval {
+  std::array<double, 4> head_accuracy_pct{};
+};
+
+/// Validation results of a cost regression: per-metric accuracy
+/// 100*(1 - mean relative error) for latency, energy, area
+/// (Table 1, "Cost Estimation" / "Overall Evaluator" blocks).
+struct CostEval {
+  std::array<double, 3> metric_accuracy_pct{};
+};
+
+/// Train the hardware generation network with per-head cross entropy
+/// (Loss_CE_HW), SGD with step decay as in the paper.
+HwGenEval train_hwgen_net(HwGenNet& net, const EvaluatorDataset& train,
+                          const EvaluatorDataset& val, const TrainOptions& opts);
+
+/// Evaluate a trained hardware generation network on a dataset.
+[[nodiscard]] HwGenEval evaluate_hwgen_net(HwGenNet& net,
+                                           const EvaluatorDataset& val);
+
+/// Train the cost estimation network with the MSRE loss (Eq. 2) and Adam.
+/// When the net uses feature forwarding the *ground-truth* one-hot hardware
+/// configuration is forwarded, exactly as the paper trains it.
+CostEval train_cost_net(CostNet& net, const EvaluatorDataset& train,
+                        const EvaluatorDataset& val, const TrainOptions& opts);
+
+/// Evaluate a trained cost net against ground truth (with ground-truth
+/// feature forwarding when enabled).
+[[nodiscard]] CostEval evaluate_cost_net(CostNet& net,
+                                         const EvaluatorDataset& val);
+
+/// End-to-end evaluator accuracy: architecture encoding -> HwGenNet ->
+/// Gumbel-softmax -> CostNet, compared to ground-truth metrics (Table 1,
+/// "Overall Evaluator").
+[[nodiscard]] CostEval evaluate_evaluator(Evaluator& evaluator,
+                                          const EvaluatorDataset& val,
+                                          util::Rng& rng);
+
+}  // namespace dance::evalnet

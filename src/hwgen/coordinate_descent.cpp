@@ -1,0 +1,99 @@
+#include "hwgen/coordinate_descent.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace dance::hwgen {
+
+CoordinateDescent::CoordinateDescent(const HwSearchSpace& space,
+                                     const accel::CostModel& model,
+                                     int restarts, int max_sweeps)
+    : space_(space), model_(model), restarts_(restarts), max_sweeps_(max_sweeps) {
+  if (restarts < 1 || max_sweeps < 1) {
+    throw std::invalid_argument("CoordinateDescent: bad iteration counts");
+  }
+}
+
+HwSearchResult CoordinateDescent::run(std::span<const accel::ConvShape> layers,
+                                      const accel::HwCostFn& cost_fn) const {
+  if (layers.empty()) throw std::invalid_argument("CoordinateDescent: no layers");
+  evaluations_ = 0;
+
+  auto evaluate = [&](const accel::AcceleratorConfig& c) {
+    ++evaluations_;
+    return cost_fn(model_.network_cost(c, layers));
+  };
+
+  HwSearchResult global_best;
+  global_best.cost = std::numeric_limits<double>::infinity();
+
+  const auto& opts = space_.options();
+  for (int restart = 0; restart < restarts_; ++restart) {
+    // Deterministic spread of starting points across the space diagonal.
+    const double t = restarts_ == 1
+                         ? 0.5
+                         : static_cast<double>(restart) / (restarts_ - 1);
+    accel::AcceleratorConfig cur;
+    cur.pe_x = space_.pe_value(
+        static_cast<int>(t * (space_.num_pe_choices() - 1)));
+    cur.pe_y = cur.pe_x;
+    cur.rf_size = space_.rf_value(
+        static_cast<int>(t * (space_.num_rf_choices() - 1)));
+    cur.dataflow = space_.dataflow_value(restart % 3);
+    double cur_cost = evaluate(cur);
+
+    for (int sweep = 0; sweep < max_sweeps_; ++sweep) {
+      bool improved = false;
+      // Coordinate 1: PE_X.
+      for (int px = opts.pe_min; px <= opts.pe_max; ++px) {
+        accel::AcceleratorConfig c = cur;
+        c.pe_x = px;
+        if (const double cost = evaluate(c); cost < cur_cost) {
+          cur = c;
+          cur_cost = cost;
+          improved = true;
+        }
+      }
+      // Coordinate 2: PE_Y.
+      for (int py = opts.pe_min; py <= opts.pe_max; ++py) {
+        accel::AcceleratorConfig c = cur;
+        c.pe_y = py;
+        if (const double cost = evaluate(c); cost < cur_cost) {
+          cur = c;
+          cur_cost = cost;
+          improved = true;
+        }
+      }
+      // Coordinate 3: RF size.
+      for (int rf = opts.rf_min; rf <= opts.rf_max; rf += opts.rf_step) {
+        accel::AcceleratorConfig c = cur;
+        c.rf_size = rf;
+        if (const double cost = evaluate(c); cost < cur_cost) {
+          cur = c;
+          cur_cost = cost;
+          improved = true;
+        }
+      }
+      // Coordinate 4: dataflow.
+      for (auto df : accel::kAllDataflows) {
+        accel::AcceleratorConfig c = cur;
+        c.dataflow = df;
+        if (const double cost = evaluate(c); cost < cur_cost) {
+          cur = c;
+          cur_cost = cost;
+          improved = true;
+        }
+      }
+      if (!improved) break;
+    }
+
+    if (cur_cost < global_best.cost) {
+      global_best.config = cur;
+      global_best.cost = cur_cost;
+      global_best.metrics = model_.network_cost(cur, layers);
+    }
+  }
+  return global_best;
+}
+
+}  // namespace dance::hwgen

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <span>
+
+#include "hwgen/exhaustive.h"
+
+namespace dance::hwgen {
+
+/// Approximate hardware generation via cyclic coordinate descent over the
+/// four design dimensions (the strategy of Hao et al. 2019 in Table 3).
+/// Much cheaper than exhaustive search but may return a local optimum;
+/// `restarts` independent starting points mitigate that.
+class CoordinateDescent {
+ public:
+  CoordinateDescent(const HwSearchSpace& space, const accel::CostModel& model,
+                    int restarts = 4, int max_sweeps = 16);
+
+  [[nodiscard]] HwSearchResult run(std::span<const accel::ConvShape> layers,
+                                   const accel::HwCostFn& cost_fn) const;
+
+  /// Number of cost-model network evaluations performed by the last run.
+  [[nodiscard]] long evaluations() const { return evaluations_; }
+
+ private:
+  const HwSearchSpace& space_;
+  const accel::CostModel& model_;
+  int restarts_;
+  int max_sweeps_;
+  mutable long evaluations_ = 0;
+};
+
+}  // namespace dance::hwgen

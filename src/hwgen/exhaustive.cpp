@@ -1,0 +1,54 @@
+#include "hwgen/exhaustive.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace dance::hwgen {
+
+ExhaustiveSearch::ExhaustiveSearch(const HwSearchSpace& space,
+                                   const accel::CostModel& model)
+    : space_(space), model_(model) {}
+
+HwSearchResult ExhaustiveSearch::run(std::span<const accel::ConvShape> layers,
+                                     const accel::HwCostFn& cost_fn) const {
+  if (layers.empty()) throw std::invalid_argument("ExhaustiveSearch: no layers");
+  HwSearchResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < space_.size(); ++i) {
+    const accel::AcceleratorConfig config = space_.config_at(i);
+    const accel::CostMetrics m = model_.network_cost(config, layers);
+    const double cost = cost_fn(m);
+    if (cost < best.cost) {
+      best = HwSearchResult{config, m, cost};
+    }
+  }
+  return best;
+}
+
+HwSearchResult ExhaustiveSearch::run_precomputed(
+    std::span<const accel::CostMetrics> metrics,
+    const accel::HwCostFn& cost_fn) const {
+  if (metrics.size() != space_.size()) {
+    throw std::invalid_argument("ExhaustiveSearch: metrics size mismatch");
+  }
+  HwSearchResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const double cost = cost_fn(metrics[i]);
+    if (cost < best.cost) {
+      best = HwSearchResult{space_.config_at(i), metrics[i], cost};
+    }
+  }
+  return best;
+}
+
+std::vector<accel::CostMetrics> ExhaustiveSearch::evaluate_all(
+    std::span<const accel::ConvShape> layers) const {
+  std::vector<accel::CostMetrics> out(space_.size());
+  for (std::size_t i = 0; i < space_.size(); ++i) {
+    out[i] = model_.network_cost(space_.config_at(i), layers);
+  }
+  return out;
+}
+
+}  // namespace dance::hwgen

@@ -1,0 +1,31 @@
+#include "hwgen/pareto.h"
+
+#include <stdexcept>
+
+namespace dance::hwgen {
+
+bool dominates(const accel::CostMetrics& a, const accel::CostMetrics& b) {
+  const bool le = a.latency_ms <= b.latency_ms && a.energy_mj <= b.energy_mj &&
+                  a.area_mm2 <= b.area_mm2;
+  const bool lt = a.latency_ms < b.latency_ms || a.energy_mj < b.energy_mj ||
+                  a.area_mm2 < b.area_mm2;
+  return le && lt;
+}
+
+std::vector<ParetoPoint> pareto_front(const HwSearchSpace& space,
+                                      std::span<const accel::CostMetrics> metrics) {
+  if (metrics.size() != space.size()) {
+    throw std::invalid_argument("pareto_front: metrics size mismatch");
+  }
+  std::vector<ParetoPoint> front;
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < metrics.size() && !dominated; ++j) {
+      if (j != i && dominates(metrics[j], metrics[i])) dominated = true;
+    }
+    if (!dominated) front.push_back({space.config_at(i), metrics[i]});
+  }
+  return front;
+}
+
+}  // namespace dance::hwgen

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "accel/cost_model.h"
+#include "hwgen/search_space.h"
+
+namespace dance::hwgen {
+
+/// A point of the hardware Pareto front: configuration + its metrics.
+struct ParetoPoint {
+  accel::AcceleratorConfig config;
+  accel::CostMetrics metrics;
+};
+
+/// Extract the 3-objective (latency, energy, area) Pareto-optimal subset of
+/// the whole design space for a fixed workload. `metrics[i]` must correspond
+/// to `space.config_at(i)` (as returned by ExhaustiveSearch::evaluate_all).
+[[nodiscard]] std::vector<ParetoPoint> pareto_front(
+    const HwSearchSpace& space, std::span<const accel::CostMetrics> metrics);
+
+/// True iff `a` dominates `b` (<= on all three metrics, < on at least one).
+[[nodiscard]] bool dominates(const accel::CostMetrics& a,
+                             const accel::CostMetrics& b);
+
+}  // namespace dance::hwgen

@@ -1,0 +1,101 @@
+#include "hwgen/random_search.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dance::hwgen {
+
+RandomSearch::RandomSearch(const HwSearchSpace& space,
+                           const accel::CostModel& model, int budget)
+    : space_(space), model_(model), budget_(budget) {
+  if (budget < 1) throw std::invalid_argument("RandomSearch: budget < 1");
+}
+
+HwSearchResult RandomSearch::run(std::span<const accel::ConvShape> layers,
+                                 const accel::HwCostFn& cost_fn,
+                                 util::Rng& rng) const {
+  if (layers.empty()) throw std::invalid_argument("RandomSearch: no layers");
+  HwSearchResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < budget_; ++i) {
+    const std::size_t idx = static_cast<std::size_t>(
+        rng.randint(0, static_cast<int>(space_.size()) - 1));
+    const accel::AcceleratorConfig config = space_.config_at(idx);
+    const accel::CostMetrics m = model_.network_cost(config, layers);
+    const double cost = cost_fn(m);
+    if (cost < best.cost) best = HwSearchResult{config, m, cost};
+  }
+  return best;
+}
+
+SimulatedAnnealing::SimulatedAnnealing(const HwSearchSpace& space,
+                                       const accel::CostModel& model,
+                                       const Options& opts)
+    : space_(space), model_(model), opts_(opts) {
+  if (opts.steps < 1 || opts.cooling <= 0.0 || opts.cooling >= 1.0) {
+    throw std::invalid_argument("SimulatedAnnealing: bad options");
+  }
+}
+
+SimulatedAnnealing::SimulatedAnnealing(const HwSearchSpace& space,
+                                       const accel::CostModel& model)
+    : SimulatedAnnealing(space, model, Options{}) {}
+
+HwSearchResult SimulatedAnnealing::run(std::span<const accel::ConvShape> layers,
+                                       const accel::HwCostFn& cost_fn,
+                                       util::Rng& rng) const {
+  if (layers.empty()) throw std::invalid_argument("SimulatedAnnealing: no layers");
+  const auto& o = space_.options();
+
+  auto evaluate = [&](const accel::AcceleratorConfig& c) {
+    return cost_fn(model_.network_cost(c, layers));
+  };
+  auto neighbour = [&](accel::AcceleratorConfig c) {
+    // Perturb one randomly chosen dimension by one step.
+    switch (rng.randint(0, 3)) {
+      case 0:
+        c.pe_x = std::clamp(c.pe_x + (rng.randint(0, 1) ? 1 : -1), o.pe_min,
+                            o.pe_max);
+        break;
+      case 1:
+        c.pe_y = std::clamp(c.pe_y + (rng.randint(0, 1) ? 1 : -1), o.pe_min,
+                            o.pe_max);
+        break;
+      case 2:
+        c.rf_size = std::clamp(
+            c.rf_size + (rng.randint(0, 1) ? o.rf_step : -o.rf_step), o.rf_min,
+            o.rf_max);
+        break;
+      default:
+        c.dataflow = space_.dataflow_value(rng.randint(0, 2));
+        break;
+    }
+    return c;
+  };
+
+  accel::AcceleratorConfig cur = space_.config_at(static_cast<std::size_t>(
+      rng.randint(0, static_cast<int>(space_.size()) - 1)));
+  double cur_cost = evaluate(cur);
+  HwSearchResult best{cur, model_.network_cost(cur, layers), cur_cost};
+  double temperature = opts_.initial_temperature * cur_cost;
+
+  for (int step = 0; step < opts_.steps; ++step) {
+    const accel::AcceleratorConfig cand = neighbour(cur);
+    const double cand_cost = evaluate(cand);
+    const double delta = cand_cost - cur_cost;
+    if (delta <= 0.0 ||
+        (temperature > 0.0 &&
+         rng.uniform() < std::exp(-delta / std::max(temperature, 1e-12)))) {
+      cur = cand;
+      cur_cost = cand_cost;
+      if (cur_cost < best.cost) {
+        best = HwSearchResult{cur, model_.network_cost(cur, layers), cur_cost};
+      }
+    }
+    temperature *= opts_.cooling;
+  }
+  return best;
+}
+
+}  // namespace dance::hwgen

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <span>
+
+#include "hwgen/exhaustive.h"
+#include "util/rng.h"
+
+namespace dance::hwgen {
+
+/// Random-sampling hardware generation: evaluate `budget` uniformly sampled
+/// configurations and keep the best. The standard cheap baseline against
+/// which exact and learned generators are judged.
+class RandomSearch {
+ public:
+  RandomSearch(const HwSearchSpace& space, const accel::CostModel& model,
+               int budget = 256);
+
+  [[nodiscard]] HwSearchResult run(std::span<const accel::ConvShape> layers,
+                                   const accel::HwCostFn& cost_fn,
+                                   util::Rng& rng) const;
+
+  [[nodiscard]] int budget() const { return budget_; }
+
+ private:
+  const HwSearchSpace& space_;
+  const accel::CostModel& model_;
+  int budget_;
+};
+
+/// Simulated-annealing hardware generation: random walk over the four design
+/// dimensions with a geometric temperature schedule. Stronger than random
+/// sampling at equal budget, still far cheaper than exhaustive search.
+class SimulatedAnnealing {
+ public:
+  struct Options {
+    int steps = 512;
+    double initial_temperature = 1.0;  ///< relative to the initial cost
+    double cooling = 0.99;             ///< per-step temperature factor
+  };
+
+  SimulatedAnnealing(const HwSearchSpace& space, const accel::CostModel& model,
+                     const Options& opts);
+  SimulatedAnnealing(const HwSearchSpace& space, const accel::CostModel& model);
+
+  [[nodiscard]] HwSearchResult run(std::span<const accel::ConvShape> layers,
+                                   const accel::HwCostFn& cost_fn,
+                                   util::Rng& rng) const;
+
+ private:
+  const HwSearchSpace& space_;
+  const accel::CostModel& model_;
+  Options opts_;
+};
+
+}  // namespace dance::hwgen

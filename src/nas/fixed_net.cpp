@@ -1,0 +1,50 @@
+#include "nas/fixed_net.h"
+
+#include <stdexcept>
+
+namespace dance::nas {
+
+namespace ops = tensor::ops;
+using tensor::Variable;
+
+FixedNet::FixedNet(const SuperNetConfig& config, const arch::Architecture& a,
+                   util::Rng& rng)
+    : config_(config), arch_(a) {
+  if (static_cast<int>(a.size()) != config.num_blocks) {
+    throw std::invalid_argument("FixedNet: architecture length mismatch");
+  }
+  stem_ = std::make_unique<nn::Linear>(config.input_dim, config.width, rng);
+  fc1_.resize(a.size());
+  fc2_.resize(a.size());
+  for (std::size_t b = 0; b < a.size(); ++b) {
+    if (arch::is_zero(a[b])) continue;
+    const int hidden = SuperNet::op_hidden_dim(config, a[b]);
+    fc1_[b] = std::make_unique<nn::Linear>(config.width, hidden, rng);
+    fc2_[b] = std::make_unique<nn::Linear>(hidden, config.width, rng);
+    // Near-identity residual branches at init (see SuperNet).
+    fc2_[b]->weight().value().scale_(0.25F);
+  }
+  classifier_ = std::make_unique<nn::Linear>(config.width, config.num_classes, rng);
+}
+
+Variable FixedNet::forward(const Variable& x) {
+  Variable h = ops::relu(stem_->forward(x));
+  for (std::size_t b = 0; b < fc1_.size(); ++b) {
+    if (!fc1_[b]) continue;  // Zero block: only the skip connection remains
+    h = ops::add(h, fc2_[b]->forward(ops::relu(fc1_[b]->forward(h))));
+  }
+  return classifier_->forward(h);
+}
+
+std::vector<Variable> FixedNet::parameters() {
+  std::vector<Variable> ps = stem_->parameters();
+  for (std::size_t b = 0; b < fc1_.size(); ++b) {
+    if (!fc1_[b]) continue;
+    for (auto& p : fc1_[b]->parameters()) ps.push_back(p);
+    for (auto& p : fc2_[b]->parameters()) ps.push_back(p);
+  }
+  for (auto& p : classifier_->parameters()) ps.push_back(p);
+  return ps;
+}
+
+}  // namespace dance::nas

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arch/space.h"
+#include "nas/supernet.h"
+#include "nn/linear.h"
+
+namespace dance::nas {
+
+/// A concrete (post-search) network: the supernet restricted to one chosen
+/// op per block, with freshly initialized weights. The paper retrains the
+/// searched architecture from scratch; this is that network.
+class FixedNet {
+ public:
+  FixedNet(const SuperNetConfig& config, const arch::Architecture& a,
+           util::Rng& rng);
+
+  [[nodiscard]] tensor::Variable forward(const tensor::Variable& x);
+  [[nodiscard]] std::vector<tensor::Variable> parameters();
+
+  [[nodiscard]] const arch::Architecture& architecture() const { return arch_; }
+
+ private:
+  SuperNetConfig config_;
+  arch::Architecture arch_;
+  std::unique_ptr<nn::Linear> stem_;
+  // One (fc1, fc2) pair per non-Zero block, nullptr for Zero blocks.
+  std::vector<std::unique_ptr<nn::Linear>> fc1_;
+  std::vector<std::unique_ptr<nn::Linear>> fc2_;
+  std::unique_ptr<nn::Linear> classifier_;
+};
+
+}  // namespace dance::nas

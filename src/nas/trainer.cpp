@@ -1,0 +1,68 @@
+#include "nas/trainer.h"
+
+#include "nn/optim.h"
+#include "util/stats.h"
+
+namespace dance::nas {
+
+namespace ops = tensor::ops;
+using tensor::Variable;
+
+double accuracy_pct(const ForwardFn& forward, const data::Dataset& ds,
+                    int batch_size) {
+  const int n = ds.size();
+  std::size_t hit = 0;
+  for (int start = 0; start < n; start += batch_size) {
+    const int stop = std::min(n, start + batch_size);
+    std::vector<int> idx(static_cast<std::size_t>(stop - start));
+    for (int i = start; i < stop; ++i) idx[static_cast<std::size_t>(i - start)] = i;
+    auto [bx, by] = ds.batch(idx);
+    const Variable logits = forward(Variable(std::move(bx)));
+    for (int r = 0; r < stop - start; ++r) {
+      int arg = 0;
+      for (int c = 1; c < ds.num_classes; ++c) {
+        if (logits.value().at(r, c) > logits.value().at(r, arg)) arg = c;
+      }
+      if (arg == by[static_cast<std::size_t>(r)]) ++hit;
+    }
+  }
+  return n == 0 ? 0.0 : 100.0 * static_cast<double>(hit) / n;
+}
+
+FixedTrainResult train_fixed_net(FixedNet& net, const data::SyntheticTask& task,
+                                 const FixedTrainOptions& opts) {
+  util::Rng rng(opts.seed);
+  nn::Sgd::Options sgd;
+  sgd.lr = opts.lr;
+  sgd.momentum = opts.momentum;
+  sgd.nesterov = true;
+  sgd.weight_decay = opts.weight_decay;
+  sgd.max_grad_norm = opts.max_grad_norm;
+  nn::Sgd optimizer(net.parameters(), sgd);
+  const nn::CosineSchedule schedule(opts.lr, opts.epochs);
+
+  const int n = task.train.size();
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    optimizer.set_lr(schedule.lr(epoch));
+    const auto perm = rng.permutation(n);
+    for (int start = 0; start < n; start += opts.batch_size) {
+      const int stop = std::min(n, start + opts.batch_size);
+      const std::vector<int> idx(perm.begin() + start, perm.begin() + stop);
+      auto [bx, by] = task.train.batch(idx);
+      const Variable logits = net.forward(Variable(std::move(bx)));
+      const Variable loss = ops::cross_entropy(logits, by);
+      optimizer.zero_grad();
+      loss.backward();
+      optimizer.step();
+    }
+  }
+  FixedTrainResult result;
+  const auto fwd = [&net](const Variable& x) {
+    return const_cast<FixedNet&>(net).forward(x);
+  };
+  result.train_accuracy_pct = accuracy_pct(fwd, task.train);
+  result.val_accuracy_pct = accuracy_pct(fwd, task.val);
+  return result;
+}
+
+}  // namespace dance::nas

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <functional>
+
+#include "data/synthetic.h"
+#include "nas/fixed_net.h"
+
+namespace dance::nas {
+
+/// Forward function type used by the generic evaluation helper.
+using ForwardFn = std::function<tensor::Variable(const tensor::Variable&)>;
+
+/// Top-1 accuracy (%) of `forward` on a dataset, evaluated in batches.
+[[nodiscard]] double accuracy_pct(const ForwardFn& forward,
+                                  const data::Dataset& ds, int batch_size = 256);
+
+/// Post-search from-scratch training options (the paper retrains searched
+/// networks for 200 epochs with SGD + Nesterov momentum + cosine schedule;
+/// defaults are the scaled-down equivalents).
+struct FixedTrainOptions {
+  int epochs = 30;
+  int batch_size = 128;
+  float lr = 0.01F;  ///< un-normalized residual MLPs diverge above ~0.01
+  float momentum = 0.9F;
+  float weight_decay = 1e-3F;
+  /// Global grad-norm clip; deep un-normalized residual stacks need this to
+  /// stay stable at useful learning rates.
+  float max_grad_norm = 2.0F;
+  std::uint64_t seed = 11;
+};
+
+struct FixedTrainResult {
+  double train_accuracy_pct = 0.0;
+  double val_accuracy_pct = 0.0;
+};
+
+/// Train a concrete network from scratch on the task and report accuracy.
+FixedTrainResult train_fixed_net(FixedNet& net, const data::SyntheticTask& task,
+                                 const FixedTrainOptions& opts);
+
+}  // namespace dance::nas

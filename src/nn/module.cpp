@@ -1,0 +1,15 @@
+#include "nn/module.h"
+
+namespace dance::nn {
+
+std::size_t Module::parameter_count() {
+  std::size_t n = 0;
+  for (auto& p : parameters()) n += p.value().numel();
+  return n;
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) p.zero_grad();
+}
+
+}  // namespace dance::nn

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/variable.h"
+
+namespace dance::nn {
+
+using tensor::Tensor;
+using tensor::Variable;
+
+/// Base class for trainable components. Parameters are exposed as autograd
+/// variables so any optimizer can update them in place.
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  virtual Variable forward(const Variable& x) = 0;
+  [[nodiscard]] virtual std::vector<Variable> parameters() = 0;
+
+  /// Toggle train/eval behaviour (batch norm statistics).
+  virtual void set_training(bool training) { training_ = training; }
+  [[nodiscard]] bool training() const { return training_; }
+
+  /// Total number of scalar parameters.
+  [[nodiscard]] std::size_t parameter_count();
+
+  void zero_grad();
+
+ protected:
+  bool training_ = true;
+};
+
+}  // namespace dance::nn

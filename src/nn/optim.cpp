@@ -1,0 +1,116 @@
+#include "nn/optim.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dance::nn {
+
+Optimizer::Optimizer(std::vector<tensor::Variable> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  for (const auto& p : params_) {
+    if (!p.defined() || !p.requires_grad()) {
+      throw std::invalid_argument("Optimizer: parameter without gradient");
+    }
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  double sq = 0.0;
+  for (auto& p : params_) {
+    const auto& g = p.node()->grad;
+    for (std::size_t i = 0; i < g.numel(); ++i) {
+      sq += static_cast<double>(g[i]) * static_cast<double>(g[i]);
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (max_norm > 0.0 && norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (auto& p : params_) {
+      auto& g = p.node()->grad;
+      if (g.numel() != 0) g.scale_(scale);
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<tensor::Variable> params, const Options& opts)
+    : Optimizer(std::move(params), opts.lr), opts_(opts) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.push_back(tensor::Tensor::zeros(p.value().shape()));
+  }
+}
+
+void Sgd::step() {
+  if (opts_.max_grad_norm > 0.0F) clip_grad_norm(opts_.max_grad_norm);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& node = *params_[k].node();
+    if (node.grad.numel() == 0) continue;  // parameter unused this step
+    auto& vel = velocity_[k];
+    for (std::size_t i = 0; i < node.value.numel(); ++i) {
+      float g = node.grad[i] + opts_.weight_decay * node.value[i];
+      if (opts_.momentum != 0.0F) {
+        vel[i] = opts_.momentum * vel[i] + g;
+        g = opts_.nesterov ? g + opts_.momentum * vel[i] : vel[i];
+      }
+      node.value[i] -= lr_ * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<tensor::Variable> params, const Options& opts)
+    : Optimizer(std::move(params), opts.lr), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(tensor::Tensor::zeros(p.value().shape()));
+    v_.push_back(tensor::Tensor::zeros(p.value().shape()));
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bc1 = 1.0F - std::pow(opts_.beta1, static_cast<float>(step_count_));
+  const float bc2 = 1.0F - std::pow(opts_.beta2, static_cast<float>(step_count_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& node = *params_[k].node();
+    if (node.grad.numel() == 0) continue;
+    auto& m = m_[k];
+    auto& v = v_[k];
+    for (std::size_t i = 0; i < node.value.numel(); ++i) {
+      const float g = node.grad[i] + opts_.weight_decay * node.value[i];
+      m[i] = opts_.beta1 * m[i] + (1.0F - opts_.beta1) * g;
+      v[i] = opts_.beta2 * v[i] + (1.0F - opts_.beta2) * g * g;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      node.value[i] -= lr_ * mhat / (std::sqrt(vhat) + opts_.eps);
+    }
+  }
+}
+
+CosineSchedule::CosineSchedule(float base_lr, int total_epochs)
+    : base_lr_(base_lr), total_epochs_(total_epochs) {
+  if (total_epochs <= 0) throw std::invalid_argument("CosineSchedule: epochs <= 0");
+}
+
+float CosineSchedule::lr(int epoch) const {
+  const float t = static_cast<float>(std::min(epoch, total_epochs_)) /
+                  static_cast<float>(total_epochs_);
+  return 0.5F * base_lr_ * (1.0F + std::cos(std::numbers::pi_v<float> * t));
+}
+
+StepSchedule::StepSchedule(float base_lr, float gamma, int step_size)
+    : base_lr_(base_lr), gamma_(gamma), step_size_(step_size) {
+  if (step_size <= 0) throw std::invalid_argument("StepSchedule: step_size <= 0");
+}
+
+float StepSchedule::lr(int epoch) const {
+  return base_lr_ * std::pow(gamma_, static_cast<float>(epoch / step_size_));
+}
+
+}  // namespace dance::nn

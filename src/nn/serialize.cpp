@@ -1,0 +1,124 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace dance::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xDA9CE001;
+
+struct Header {
+  std::uint32_t magic;
+  std::uint32_t count;
+};
+
+bool read_shapes(std::ifstream& in, std::uint32_t count,
+                 std::vector<std::vector<int>>& shapes) {
+  shapes.clear();
+  for (std::uint32_t p = 0; p < count; ++p) {
+    std::uint32_t rank = 0;
+    if (!in.read(reinterpret_cast<char*>(&rank), sizeof(rank))) return false;
+    if (rank > 8) return false;
+    std::vector<int> shape(rank);
+    std::size_t numel = 1;
+    for (auto& d : shape) {
+      std::int32_t v = 0;
+      if (!in.read(reinterpret_cast<char*>(&v), sizeof(v))) return false;
+      if (v < 0) return false;
+      d = v;
+      numel *= static_cast<std::size_t>(v);
+    }
+    shapes.push_back(std::move(shape));
+    in.seekg(static_cast<std::streamoff>(numel * sizeof(float)), std::ios::cur);
+    if (!in) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void save_tensors(const std::string& path,
+                  const std::vector<const tensor::Tensor*>& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_tensors: cannot open " + path);
+  const Header h{kMagic, static_cast<std::uint32_t>(tensors.size())};
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  for (const auto* t : tensors) {
+    const std::uint32_t rank = static_cast<std::uint32_t>(t->rank());
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int d : t->shape()) {
+      const std::int32_t v = d;
+      out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    }
+    out.write(reinterpret_cast<const char*>(t->data()),
+              static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_tensors: write failed " + path);
+}
+
+void load_tensors(const std::string& path,
+                  const std::vector<tensor::Tensor*>& tensors) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_tensors: cannot open " + path);
+  Header h{};
+  if (!in.read(reinterpret_cast<char*>(&h), sizeof(h)) || h.magic != kMagic) {
+    throw std::runtime_error("load_tensors: bad checkpoint " + path);
+  }
+  if (h.count != tensors.size()) {
+    throw std::runtime_error("load_tensors: tensor count mismatch");
+  }
+  for (auto* t : tensors) {
+    std::uint32_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    std::vector<int> shape(rank);
+    for (auto& d : shape) {
+      std::int32_t v = 0;
+      in.read(reinterpret_cast<char*>(&v), sizeof(v));
+      d = v;
+    }
+    if (shape != t->shape()) {
+      throw std::runtime_error("load_tensors: shape mismatch");
+    }
+    in.read(reinterpret_cast<char*>(t->data()),
+            static_cast<std::streamsize>(t->numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_tensors: truncated checkpoint");
+  }
+}
+
+void save_parameters(const std::string& path,
+                     const std::vector<tensor::Variable>& params) {
+  std::vector<const tensor::Tensor*> ts;
+  ts.reserve(params.size());
+  for (const auto& p : params) ts.push_back(&p.value());
+  save_tensors(path, ts);
+}
+
+void load_parameters(const std::string& path,
+                     std::vector<tensor::Variable>& params) {
+  std::vector<tensor::Tensor*> ts;
+  ts.reserve(params.size());
+  for (auto& p : params) ts.push_back(&p.value());
+  load_tensors(path, ts);
+}
+
+bool checkpoint_compatible(const std::string& path,
+                           const std::vector<tensor::Variable>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  Header h{};
+  if (!in.read(reinterpret_cast<char*>(&h), sizeof(h)) || h.magic != kMagic ||
+      h.count != params.size()) {
+    return false;
+  }
+  std::vector<std::vector<int>> shapes;
+  if (!read_shapes(in, h.count, shapes)) return false;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (shapes[i] != params[i].value().shape()) return false;
+  }
+  return true;
+}
+
+}  // namespace dance::nn

@@ -1,0 +1,27 @@
+#include "search/design_points.h"
+
+#include <stdexcept>
+
+namespace dance::search {
+
+DesignPoints select_design_points(std::span<const SearchOutcome> sweep,
+                                  const accel::HwCostFn& cost_fn,
+                                  double accuracy_budget_pct) {
+  if (sweep.empty()) {
+    throw std::invalid_argument("select_design_points: empty sweep");
+  }
+  const SearchOutcome* a = &sweep.front();
+  for (const auto& o : sweep) {
+    if (o.val_accuracy_pct > a->val_accuracy_pct) a = &o;
+  }
+  const SearchOutcome* b = a;
+  for (const auto& o : sweep) {
+    if (o.val_accuracy_pct + accuracy_budget_pct >= a->val_accuracy_pct &&
+        cost_fn(o.metrics) < cost_fn(b->metrics)) {
+      b = &o;
+    }
+  }
+  return DesignPoints{*a, *b};
+}
+
+}  // namespace dance::search

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <algorithm>
+
+namespace dance::search {
+
+/// Hyper-parameter warm-up for lambda_2 (§3.4): the hardware cost weight is
+/// kept small for the first epochs so the architecture does not collapse to
+/// all-Zero before it reaches a high-accuracy region, then ramps linearly to
+/// its target value.
+class LambdaWarmup {
+ public:
+  LambdaWarmup(float initial, float target, int warmup_epochs, int ramp_epochs = 1)
+      : initial_(initial),
+        target_(target),
+        warmup_epochs_(warmup_epochs),
+        ramp_epochs_(std::max(1, ramp_epochs)) {}
+
+  [[nodiscard]] float value(int epoch) const {
+    if (epoch < warmup_epochs_) return initial_;
+    const float t = static_cast<float>(epoch - warmup_epochs_) /
+                    static_cast<float>(ramp_epochs_);
+    return t >= 1.0F ? target_ : initial_ + (target_ - initial_) * t;
+  }
+
+ private:
+  float initial_;
+  float target_;
+  int warmup_epochs_;
+  int ramp_epochs_;
+};
+
+}  // namespace dance::search

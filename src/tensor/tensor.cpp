@@ -1,0 +1,87 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace dance::tensor {
+
+namespace {
+std::size_t shape_numel(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    if (d < 0) throw std::invalid_argument("Tensor: negative dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0F) {}
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<int> shape, util::Rng& rng, float mean,
+                     float stddev) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = rng.normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::from(std::vector<int> shape, std::vector<float> values) {
+  if (shape_numel(shape) != values.size()) {
+    throw std::invalid_argument("Tensor::from: shape/value size mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+int Tensor::rows() const {
+  if (rank() != 2) throw std::logic_error("Tensor::rows: rank != 2");
+  return shape_[0];
+}
+
+int Tensor::cols() const {
+  if (rank() != 2) throw std::logic_error("Tensor::cols: rank != 2");
+  return shape_[1];
+}
+
+float& Tensor::at(int r, int c) {
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols()) +
+               static_cast<std::size_t>(c)];
+}
+
+float Tensor::at(int r, int c) const {
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols()) +
+               static_cast<std::size_t>(c)];
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::add_(const Tensor& other) {
+  if (!same_shape(other)) throw std::invalid_argument("Tensor::add_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::scale_(float s) {
+  for (float& x : data_) x *= s;
+}
+
+std::string Tensor::shape_str() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(shape_[i]);
+  }
+  return s + "]";
+}
+
+}  // namespace dance::tensor

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dance::tensor {
+
+/// Dense row-major float tensor. The library only needs rank-1 and rank-2
+/// tensors (vectors and [batch, features] matrices), so the shape is kept as
+/// a small vector and all hot loops are written against raw contiguous data.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int> shape, float value);
+  /// i.i.d. N(mean, stddev) entries.
+  static Tensor randn(std::vector<int> shape, util::Rng& rng, float mean = 0.0F,
+                      float stddev = 1.0F);
+  /// Row-major values with an explicit shape.
+  static Tensor from(std::vector<int> shape, std::vector<float> values);
+
+  [[nodiscard]] const std::vector<int>& shape() const { return shape_; }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+  [[nodiscard]] int dim(int i) const { return shape_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int rank() const { return static_cast<int>(shape_.size()); }
+
+  [[nodiscard]] int rows() const;  ///< rank-2 only
+  [[nodiscard]] int cols() const;  ///< rank-2 only
+
+  float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// rank-2 element access.
+  float& at(int r, int c);
+  [[nodiscard]] float at(int r, int c) const;
+
+  void fill(float value);
+  /// this += other (same shape).
+  void add_(const Tensor& other);
+  /// this *= s.
+  void scale_(float s);
+
+  [[nodiscard]] bool same_shape(const Tensor& other) const {
+    return shape_ == other.shape_;
+  }
+
+  [[nodiscard]] std::string shape_str() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace dance::tensor

@@ -1,0 +1,33 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace dance::util {
+
+namespace {
+std::string join(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) line += ',';
+    line += cells[i];
+  }
+  return line;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  out_ << join(header) << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  if (row.size() != columns_) {
+    throw std::invalid_argument("CsvWriter::add_row: column count mismatch");
+  }
+  out_ << join(row) << '\n';
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace dance::util

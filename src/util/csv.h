@@ -1,0 +1,25 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dance::util {
+
+/// Append-style CSV writer used by benches to dump figure data
+/// (e.g. the Fig. 5 error-EDAP scatter) for external plotting.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& row);
+
+  /// Flush happens on destruction as well; explicit for tests.
+  void flush();
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace dance::util

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dance::util {
+
+/// Deterministic random source used across the library.
+///
+/// Every stochastic component (data generation, weight init, Gumbel noise,
+/// path sampling) takes an explicit `Rng&` so experiments are reproducible
+/// from a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo = 0.0F, float hi = 1.0F) {
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+
+  /// Standard normal sample scaled to `mean`/`stddev`.
+  float normal(float mean = 0.0F, float stddev = 1.0F) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int randint(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Gumbel(0,1) sample, used by Gumbel-softmax.
+  float gumbel() {
+    // -log(-log(u)) with u clamped away from 0/1 for numerical safety.
+    float u = std::uniform_real_distribution<float>(1e-10F, 1.0F - 1e-10F)(engine_);
+    return -std::log(-std::log(u));
+  }
+
+  /// Sample an index from an (unnormalized) non-negative weight vector.
+  int categorical(const std::vector<float>& weights) {
+    std::discrete_distribution<int> dist(weights.begin(), weights.end());
+    return dist(engine_);
+  }
+
+  /// Fisher-Yates shuffle of an index permutation [0, n).
+  std::vector<int> permutation(int n) {
+    std::vector<int> idx(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+    for (int i = n - 1; i > 0; --i) {
+      std::swap(idx[static_cast<std::size_t>(i)],
+                idx[static_cast<std::size_t>(randint(0, i))]);
+    }
+    return idx;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dance::util

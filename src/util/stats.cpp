@@ -1,0 +1,58 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dance::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double mean_relative_error(std::span<const double> pred,
+                           std::span<const double> truth, double eps) {
+  if (pred.size() != truth.size()) {
+    throw std::invalid_argument("mean_relative_error: size mismatch");
+  }
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (std::abs(truth[i]) < eps) continue;
+    acc += std::abs(1.0 - pred[i] / truth[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+double regression_accuracy_pct(std::span<const double> pred,
+                               std::span<const double> truth) {
+  const double err = mean_relative_error(pred, truth);
+  return std::clamp(100.0 * (1.0 - err), 0.0, 100.0);
+}
+
+double classification_accuracy_pct(std::span<const int> pred,
+                                   std::span<const int> truth) {
+  if (pred.size() != truth.size()) {
+    throw std::invalid_argument("classification_accuracy_pct: size mismatch");
+  }
+  if (pred.empty()) return 0.0;
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == truth[i]) ++hit;
+  }
+  return 100.0 * static_cast<double>(hit) / static_cast<double>(pred.size());
+}
+
+}  // namespace dance::util

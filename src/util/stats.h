@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace dance::util {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// Mean absolute relative error mean(|1 - pred/truth|).
+/// Entries with |truth| < eps are skipped.
+double mean_relative_error(std::span<const double> pred,
+                           std::span<const double> truth,
+                           double eps = 1e-12);
+
+/// Paper-style "accuracy" for a regression head:
+/// 100 * (1 - mean_relative_error), clamped to [0, 100].
+double regression_accuracy_pct(std::span<const double> pred,
+                               std::span<const double> truth);
+
+/// Classification accuracy in percent.
+double classification_accuracy_pct(std::span<const int> pred,
+                                   std::span<const int> truth);
+
+}  // namespace dance::util

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dance::util {
+
+/// Minimal fixed-width ASCII table used by the benchmark harnesses to print
+/// paper-style result tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column-aligned padding and a header separator.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Format a double with fixed precision (helper for row building).
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dance::util

@@ -1,0 +1,99 @@
+// Property sweep of the analytical cost model across representative layer
+// types and every dataflow: conservation laws and utilization bounds that
+// any credible Timeloop-like model must satisfy.
+#include <gtest/gtest.h>
+
+#include "accel/cost_model.h"
+
+namespace {
+
+using namespace dance::accel;
+
+struct LayerCase {
+  const char* name;
+  ConvShape shape;
+};
+
+const LayerCase kLayers[] = {
+    {"pointwise", ConvShape{1, 128, 64, 16, 16, 1, 1, 1, 1}},
+    {"dense3x3", ConvShape{1, 64, 64, 32, 32, 3, 3, 1, 1}},
+    {"depthwise3x3", ConvShape{1, 96, 96, 16, 16, 3, 3, 1, 96}},
+    {"strided5x5", ConvShape{1, 48, 24, 32, 32, 5, 5, 2, 1}},
+    {"large7x7", ConvShape{1, 32, 16, 56, 56, 7, 7, 1, 1}},
+    {"batch4", ConvShape{4, 32, 32, 16, 16, 3, 3, 1, 1}},
+};
+
+class CostModelSweep
+    : public ::testing::TestWithParam<std::tuple<int, Dataflow>> {
+ protected:
+  const LayerCase& layer() const {
+    return kLayers[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  }
+  Dataflow dataflow() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(CostModelSweep, ComputeCyclesRespectPeCount) {
+  // No configuration can do better than perfect utilization of all PEs:
+  // compute_cycles * num_pes >= total MACs.
+  CostModel model;
+  const AcceleratorConfig cfg{16, 16, 32, dataflow()};
+  const CostBreakdown b = model.explain(cfg, layer().shape);
+  EXPECT_GE(b.compute_cycles * cfg.num_pes(),
+            static_cast<double>(layer().shape.macs()) * (1.0 - 1e-9))
+      << layer().name;
+}
+
+TEST_P(CostModelSweep, BreakdownComponentsNonNegative) {
+  CostModel model;
+  const AcceleratorConfig cfg{12, 20, 16, dataflow()};
+  const CostBreakdown b = model.explain(cfg, layer().shape);
+  for (double v : {b.compute_cycles, b.gb_cycles, b.dram_cycles, b.gb_words,
+                   b.dram_words, b.rf_accesses, b.mac_pj, b.rf_pj, b.gb_pj,
+                   b.dram_pj, b.noc_pj, b.static_pj}) {
+    EXPECT_GE(v, 0.0) << layer().name;
+  }
+}
+
+TEST_P(CostModelSweep, DramTrafficCoversTensorVolumes) {
+  // Every operand has to cross DRAM at least once.
+  CostModel model;
+  const AcceleratorConfig cfg{16, 16, 32, dataflow()};
+  const CostBreakdown b = model.explain(cfg, layer().shape);
+  const double min_traffic =
+      static_cast<double>(layer().shape.weight_volume() +
+                          layer().shape.input_volume() +
+                          layer().shape.output_volume());
+  EXPECT_GE(b.dram_words, min_traffic * (1.0 - 1e-9)) << layer().name;
+}
+
+TEST_P(CostModelSweep, GbTrafficAtLeastDramTraffic) {
+  // Everything that crosses DRAM also crosses the global buffer port at
+  // least once on its way to the array.
+  CostModel model;
+  const AcceleratorConfig cfg{16, 16, 32, dataflow()};
+  const CostBreakdown b = model.explain(cfg, layer().shape);
+  EXPECT_GE(b.gb_words, b.dram_words * (1.0 - 1e-9)) << layer().name;
+}
+
+TEST_P(CostModelSweep, LatencyDeterministic) {
+  CostModel model;
+  const AcceleratorConfig cfg{10, 14, 24, dataflow()};
+  const LayerCost a = model.layer_cost(cfg, layer().shape);
+  const LayerCost b = model.layer_cost(cfg, layer().shape);
+  EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.energy_pj, b.energy_pj);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayersByDataflow, CostModelSweep,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(Dataflow::kWeightStationary,
+                                         Dataflow::kOutputStationary,
+                                         Dataflow::kRowStationary)),
+    [](const auto& info) {
+      return std::string(kLayers[static_cast<std::size_t>(
+                             std::get<0>(info.param))].name) +
+             "_" + to_string(std::get<1>(info.param));
+    });
+
+}  // namespace

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "search/design_points.h"
+
+namespace {
+
+using namespace dance;
+
+search::SearchOutcome make(double acc, double latency) {
+  search::SearchOutcome o;
+  o.val_accuracy_pct = acc;
+  o.metrics = accel::CostMetrics{latency, 1.0, 1.0};
+  return o;
+}
+
+const accel::HwCostFn kLatency = [](const accel::CostMetrics& m) {
+  return m.latency_ms;
+};
+
+TEST(DesignPoints, PicksMostAccurateAsA) {
+  const std::vector<search::SearchOutcome> sweep = {
+      make(90.0, 5.0), make(94.0, 8.0), make(92.0, 3.0)};
+  const auto p = search::select_design_points(sweep, kLatency, 1.0);
+  EXPECT_DOUBLE_EQ(p.accuracy_oriented.val_accuracy_pct, 94.0);
+}
+
+TEST(DesignPoints, PicksCheapestWithinBudgetAsB) {
+  const std::vector<search::SearchOutcome> sweep = {
+      make(94.0, 8.0), make(93.5, 3.0), make(90.0, 1.0)};
+  const auto p = search::select_design_points(sweep, kLatency, 1.0);
+  // 93.5 is within 1%p of 94 and cheaper; 90.0 is cheaper still but over
+  // budget.
+  EXPECT_DOUBLE_EQ(p.efficiency_oriented.val_accuracy_pct, 93.5);
+  EXPECT_DOUBLE_EQ(p.efficiency_oriented.metrics.latency_ms, 3.0);
+}
+
+TEST(DesignPoints, BFallsBackToAWhenNothingCheaper) {
+  const std::vector<search::SearchOutcome> sweep = {
+      make(94.0, 2.0), make(93.9, 5.0)};
+  const auto p = search::select_design_points(sweep, kLatency, 1.0);
+  EXPECT_DOUBLE_EQ(p.efficiency_oriented.metrics.latency_ms, 2.0);
+}
+
+TEST(DesignPoints, WiderBudgetUnlocksCheaperB) {
+  const std::vector<search::SearchOutcome> sweep = {
+      make(94.0, 8.0), make(90.0, 1.0)};
+  const auto tight = search::select_design_points(sweep, kLatency, 1.0);
+  const auto loose = search::select_design_points(sweep, kLatency, 5.0);
+  EXPECT_DOUBLE_EQ(tight.efficiency_oriented.metrics.latency_ms, 8.0);
+  EXPECT_DOUBLE_EQ(loose.efficiency_oriented.metrics.latency_ms, 1.0);
+}
+
+TEST(DesignPoints, EmptySweepThrows) {
+  EXPECT_THROW(search::select_design_points({}, kLatency), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Assorted edge cases across the library surface.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nas/trainer.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dance;
+using tensor::Tensor;
+using tensor::Variable;
+namespace ops = tensor::ops;
+
+TEST(EdgeCases, MsreSkipsZeroTargets) {
+  Variable p(Tensor::from({1, 3}, {5.0F, 2.0F, 7.0F}), true);
+  // Middle target is zero: excluded from the mean AND from gradients.
+  Tensor t = Tensor::from({1, 3}, {4.0F, 0.0F, 7.0F});
+  Variable loss = ops::msre(p, t);
+  // Valid elements are 0 and 2; element 2 is exact, so
+  // loss = ((1 - 5/4)^2 + 0) / 2 = 0.03125.
+  EXPECT_NEAR(loss.value()[0], 0.03125F, 1e-5F);
+  loss.backward();
+  EXPECT_FLOAT_EQ(p.grad()[1], 0.0F);
+  EXPECT_NE(p.grad()[0], 0.0F);
+}
+
+TEST(EdgeCases, MsreAllZeroTargetsIsZeroLoss) {
+  Variable p(Tensor::from({1, 2}, {5.0F, 2.0F}), true);
+  Variable loss = ops::msre(p, Tensor::zeros({1, 2}));
+  EXPECT_FLOAT_EQ(loss.value()[0], 0.0F);
+}
+
+TEST(EdgeCases, AccuracyPctHandlesRaggedLastBatch) {
+  data::SyntheticTaskConfig cfg;
+  cfg.input_dim = 4;
+  cfg.num_classes = 3;
+  cfg.train_samples = 10;
+  cfg.val_samples = 7;  // not divisible by batch size 4
+  const auto task = data::make_synthetic_task(cfg);
+  const auto fwd = [&](const Variable& x) {
+    Tensor logits({x.value().rows(), 3});
+    for (int r = 0; r < x.value().rows(); ++r) logits.at(r, 1) = 1.0F;
+    return Variable(std::move(logits));
+  };
+  const double acc = nas::accuracy_pct(fwd, task.val, 4);
+  // Predicting class 1 always: accuracy equals the fraction of 1-labels.
+  int ones = 0;
+  for (int y : task.val.y) ones += y == 1 ? 1 : 0;
+  EXPECT_NEAR(acc, 100.0 * ones / 7.0, 1e-9);
+}
+
+TEST(EdgeCases, SgdNesterovSingleStepFormula) {
+  // v1 = g ; update = g + mu*v1 for Nesterov on the first step.
+  Variable w(Tensor::from({1}, {1.0F}), true);
+  nn::Sgd opt({w}, {.lr = 0.1F, .momentum = 0.5F, .nesterov = true});
+  w.node()->ensure_grad();
+  w.node()->grad[0] = 2.0F;
+  opt.step();
+  // update = 2 + 0.5*2 = 3 -> w = 1 - 0.1*3
+  EXPECT_NEAR(w.value()[0], 0.7F, 1e-6F);
+}
+
+TEST(EdgeCases, AdamWeightDecayPullsTowardZero) {
+  Variable w(Tensor::from({1}, {4.0F}), true);
+  nn::Adam opt({w}, {.lr = 0.01F, .weight_decay = 0.1F});
+  // Zero loss-gradient: only decay drives the update.
+  for (int i = 0; i < 50; ++i) {
+    w.node()->ensure_grad();
+    w.node()->grad.fill(0.0F);
+    opt.step();
+  }
+  EXPECT_LT(w.value()[0], 4.0F);
+  EXPECT_GT(w.value()[0], 0.0F);
+}
+
+TEST(EdgeCases, TableFmtNegativeAndZero) {
+  EXPECT_EQ(util::Table::fmt(-1.5, 1), "-1.5");
+  EXPECT_EQ(util::Table::fmt(0.0, 2), "0.00");
+}
+
+TEST(EdgeCases, SliceColsFullRangeIsIdentity) {
+  Variable a(Tensor::from({2, 2}, {1.0F, 2.0F, 3.0F, 4.0F}), true);
+  const Variable s = ops::slice_cols(a, 0, 2);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(s.value()[i], a.value()[i]);
+  EXPECT_THROW(ops::slice_cols(a, 1, 1), std::invalid_argument);
+  EXPECT_THROW(ops::slice_cols(a, 0, 3), std::invalid_argument);
+}
+
+TEST(EdgeCases, ConcatSingleInputIsIdentity) {
+  Variable a(Tensor::from({1, 3}, {1.0F, 2.0F, 3.0F}), true);
+  const Variable c = ops::concat_cols({a});
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(c.value()[i], a.value()[i]);
+  EXPECT_THROW(ops::concat_cols({}), std::invalid_argument);
+}
+
+TEST(EdgeCases, GumbelSoftmaxRejectsBadTau) {
+  util::Rng rng(1);
+  Variable a(Tensor::zeros({1, 3}), true);
+  EXPECT_THROW(ops::gumbel_softmax(a, 0.0F, false, rng), std::invalid_argument);
+  EXPECT_THROW(ops::gumbel_softmax(a, -1.0F, false, rng), std::invalid_argument);
+}
+
+TEST(EdgeCases, MatmulShapeMismatchThrows) {
+  Variable a(Tensor::zeros({2, 3}));
+  Variable b(Tensor::zeros({4, 2}));
+  EXPECT_THROW(ops::matmul(a, b), std::invalid_argument);
+}
+
+TEST(EdgeCases, LeafGradientsAccumulateAcrossGraphs) {
+  // Two backward passes over fresh graphs without zero_grad accumulate into
+  // the shared leaf — the semantics optimizers rely on for grad averaging.
+  Variable a(Tensor::from({1, 1}, {3.0F}), true);
+  ops::sum_all(ops::scale(a, 2.0F)).backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 2.0F);
+  ops::sum_all(ops::scale(a, 2.0F)).backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 4.0F);
+  a.zero_grad();
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0F);
+}
+
+}  // namespace

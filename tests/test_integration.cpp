@@ -1,0 +1,148 @@
+// Cross-module integration properties that tie the whole pipeline together.
+#include <gtest/gtest.h>
+
+#include "evalnet/trainer.h"
+#include "search/dance.h"
+
+namespace {
+
+using namespace dance;
+
+class PipelineIntegration : public ::testing::Test {
+ protected:
+  PipelineIntegration()
+      : arch_space_(arch::cifar10_backbone()),
+        hw_space_({.pe_min = 8, .pe_max = 12, .rf_min = 8, .rf_max = 32,
+                   .rf_step = 8}),
+        table_(arch_space_, hw_space_, model_) {
+    data::SyntheticTaskConfig dcfg;
+    dcfg.input_dim = 12;
+    dcfg.num_classes = 6;
+    dcfg.train_samples = 512;
+    dcfg.val_samples = 128;
+    task_ = data::make_synthetic_task(dcfg);
+    net_config_.input_dim = 12;
+    net_config_.num_classes = 6;
+    net_config_.width = 24;
+    net_config_.num_blocks = 9;
+  }
+
+  evalnet::Evaluator make_trained_evaluator(util::Rng& rng) {
+    evalnet::Evaluator::Options eopts;
+    eopts.hwgen.hidden_dim = 32;
+    eopts.cost.hidden_dim = 48;
+    evalnet::Evaluator ev(arch_space_.encoding_width(), hw_space_, rng, eopts);
+    auto ds = evalnet::generate_evaluator_dataset(table_, accel::edap_cost(),
+                                                  600, rng);
+    auto [train, val] = evalnet::split_dataset(ds, 0.8);
+    evalnet::TrainOptions opts;
+    opts.epochs = 15;
+    opts.batch_size = 64;
+    opts.lr = 0.05F;
+    evalnet::train_hwgen_net(ev.hwgen_net(), train, val, opts);
+    opts.lr = 4e-3F;
+    evalnet::train_cost_net(ev.cost_net(), train, val, opts);
+    return ev;
+  }
+
+  arch::ArchSpace arch_space_;
+  hwgen::HwSearchSpace hw_space_;
+  accel::CostModel model_;
+  arch::CostTable table_;
+  data::SyntheticTask task_;
+  nas::SuperNetConfig net_config_;
+};
+
+TEST_F(PipelineIntegration, HugeLambda2MinimizesEvaluatorPredictedCost) {
+  // The §3.4 failure mode at integration level: with a huge hardware weight
+  // from step 0 the architecture parameters follow the evaluator's cost
+  // gradient, so the derived architecture must have a lower *predicted*
+  // cost than the one found by the same search without the hardware term.
+  // (Whether that coincides with all-Zero depends on evaluator fidelity,
+  // which a test-sized evaluator cannot guarantee.)
+  util::Rng rng(3);
+  evalnet::Evaluator ev = make_trained_evaluator(rng);
+
+  auto run_with_lambda = [&](float lambda2) {
+    search::DanceOptions opts;
+    opts.search_epochs = 8;
+    opts.warmup_epochs = 0;
+    opts.lambda2 = lambda2;
+    // Adam makes the update size scale-invariant, so movement is governed
+    // by arch_lr x steps rather than lambda2's magnitude.
+    opts.arch_lr = 0.1F;
+    opts.retrain.epochs = 1;
+    opts.arch_update_period = 1;
+    opts.seed = 77;
+    search::DanceSearch dance(task_, table_, ev, net_config_, opts);
+    return dance.run();
+  };
+  const auto free_run = run_with_lambda(0.0F);
+  const auto pressed_run = run_with_lambda(500.0F);
+
+  auto predicted_edap = [&](const arch::Architecture& a) {
+    ev.set_training(false);
+    util::Rng eval_rng(5);
+    tensor::Variable enc(tensor::Tensor::from(
+        {1, arch_space_.encoding_width()}, arch_space_.encode(a)));
+    const auto out = ev.forward(enc, eval_rng);
+    return static_cast<double>(out.metrics.value().at(0, 0)) *
+           out.metrics.value().at(0, 1) * out.metrics.value().at(0, 2);
+  };
+  EXPECT_LE(predicted_edap(pressed_run.architecture),
+            predicted_edap(free_run.architecture) + 1e-6);
+}
+
+TEST_F(PipelineIntegration, LambdaZeroMatchesNoPenaltySearchCostProfile) {
+  // With lambda2 == 0 the evaluator is never invoked; the search must still
+  // produce a valid outcome whose hardware is the exact post-hoc optimum.
+  util::Rng rng(4);
+  evalnet::Evaluator ev = make_trained_evaluator(rng);
+  search::DanceOptions opts;
+  opts.search_epochs = 2;
+  opts.lambda2 = 0.0F;
+  opts.warmup_epochs = 0;
+  opts.retrain.epochs = 2;
+  search::DanceSearch dance(task_, table_, ev, net_config_, opts);
+  const auto out = dance.run();
+  const auto exact = table_.optimal(out.architecture, accel::edap_cost());
+  EXPECT_EQ(exact.config, out.hardware);
+}
+
+TEST_F(PipelineIntegration, BinarizedTwoPathUpdateRuns) {
+  util::Rng rng(5);
+  evalnet::Evaluator ev = make_trained_evaluator(rng);
+  search::DanceOptions opts;
+  opts.search_epochs = 3;
+  opts.warmup_epochs = 1;
+  opts.lambda2 = 1.0F;
+  opts.retrain.epochs = 2;
+  opts.arch_update = search::ArchUpdate::kBinarizedTwoPath;
+  search::DanceSearch dance(task_, table_, ev, net_config_, opts);
+  const auto out = dance.run();
+  EXPECT_EQ(out.architecture.size(), 9U);
+  EXPECT_EQ(out.trained_candidates, 1);
+}
+
+TEST_F(PipelineIntegration, EvaluatorPredictionsTrackTableOrdering) {
+  // A trained evaluator must rank a clearly-expensive architecture above a
+  // clearly-cheap one on predicted cost, matching the exact table.
+  util::Rng rng(6);
+  evalnet::Evaluator ev = make_trained_evaluator(rng);
+  ev.set_training(false);
+
+  const arch::Architecture cheap(9, arch::CandidateOp::kZero);
+  const arch::Architecture costly(9, arch::CandidateOp::kMbConv7x7E6);
+  auto predict_latency = [&](const arch::Architecture& a) {
+    tensor::Variable enc(tensor::Tensor::from(
+        {1, arch_space_.encoding_width()}, arch_space_.encode(a)));
+    return ev.forward(enc, rng).metrics.value().at(0, 0);
+  };
+  EXPECT_LT(predict_latency(cheap), predict_latency(costly));
+
+  const auto exact_cheap = table_.optimal(cheap, accel::edap_cost());
+  const auto exact_costly = table_.optimal(costly, accel::edap_cost());
+  EXPECT_LT(exact_cheap.metrics.latency_ms, exact_costly.metrics.latency_ms);
+}
+
+}  // namespace

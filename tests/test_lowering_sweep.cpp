@@ -1,0 +1,70 @@
+// Property sweep over every (searchable slot, candidate op) pair of both
+// backbones: the lowering must produce valid shapes with consistent channel
+// plumbing, and MACs must be ordered by kernel size and expansion ratio.
+#include <gtest/gtest.h>
+
+#include "arch/space.h"
+
+namespace {
+
+using namespace dance;
+using arch::CandidateOp;
+
+class LoweringSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {
+ protected:
+  static arch::BackboneSpec spec() {
+    return std::get<0>(GetParam()) == "cifar10" ? arch::cifar10_backbone()
+                                                : arch::imagenet_backbone();
+  }
+};
+
+TEST_P(LoweringSweep, AllOpsLowerToValidShapes) {
+  const arch::ArchSpace space(spec());
+  const int slot = std::get<1>(GetParam());
+  for (const auto op : arch::kAllCandidateOps) {
+    const auto shapes = space.lower_choice(slot, op);
+    if (arch::is_zero(op)) {
+      EXPECT_TRUE(shapes.empty());
+      continue;
+    }
+    ASSERT_EQ(shapes.size(), 3U) << arch::to_string(op);
+    for (const auto& s : shapes) EXPECT_TRUE(s.valid()) << s.to_string();
+    // Channel plumbing: expand -> depthwise -> project.
+    EXPECT_EQ(shapes[0].k, shapes[1].c);
+    EXPECT_EQ(shapes[1].groups, shapes[1].c);  // depthwise
+    EXPECT_EQ(shapes[1].k, shapes[2].c);
+    // Depthwise kernel matches the op.
+    EXPECT_EQ(shapes[1].r, arch::kernel_size(op));
+  }
+}
+
+TEST_P(LoweringSweep, MacsOrderedByKernelAndExpand) {
+  const arch::ArchSpace space(spec());
+  const int slot = std::get<1>(GetParam());
+  auto macs_of = [&](CandidateOp op) {
+    std::int64_t total = 0;
+    for (const auto& s : space.lower_choice(slot, op)) total += s.macs();
+    return total;
+  };
+  // Expansion dominates: e6 > e3 at equal kernel.
+  EXPECT_GT(macs_of(CandidateOp::kMbConv3x3E6), macs_of(CandidateOp::kMbConv3x3E3));
+  EXPECT_GT(macs_of(CandidateOp::kMbConv5x5E6), macs_of(CandidateOp::kMbConv5x5E3));
+  EXPECT_GT(macs_of(CandidateOp::kMbConv7x7E6), macs_of(CandidateOp::kMbConv7x7E3));
+  // Kernel grows MACs at equal expansion.
+  EXPECT_GT(macs_of(CandidateOp::kMbConv5x5E3), macs_of(CandidateOp::kMbConv3x3E3));
+  EXPECT_GT(macs_of(CandidateOp::kMbConv7x7E6), macs_of(CandidateOp::kMbConv5x5E6));
+  EXPECT_EQ(macs_of(CandidateOp::kZero), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothBackbonesAllSlots, LoweringSweep,
+    ::testing::Combine(::testing::Values(std::string("cifar10"),
+                                         std::string("imagenet")),
+                       ::testing::Range(0, 9)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_slot" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optim.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using dance::tensor::Tensor;
+using dance::tensor::Variable;
+namespace nn = dance::nn;
+namespace ops = dance::tensor::ops;
+
+TEST(ClipGradNorm, ScalesDownLargeGradients) {
+  Variable w(Tensor::from({1, 2}, {0.0F, 0.0F}), true);
+  nn::Sgd opt({w}, {.lr = 1.0F});
+  // Force a gradient of norm 5 (3-4-5 triangle).
+  w.node()->ensure_grad();
+  w.node()->grad[0] = 3.0F;
+  w.node()->grad[1] = 4.0F;
+  const double pre = opt.clip_grad_norm(1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  const double post = std::hypot(w.grad()[0], w.grad()[1]);
+  EXPECT_NEAR(post, 1.0, 1e-5);
+  // Direction preserved.
+  EXPECT_NEAR(w.grad()[0] / w.grad()[1], 0.75F, 1e-5F);
+}
+
+TEST(ClipGradNorm, LeavesSmallGradientsAlone) {
+  Variable w(Tensor::from({2}, {0.0F, 0.0F}), true);
+  nn::Adam opt({w}, {});
+  w.node()->ensure_grad();
+  w.node()->grad[0] = 0.1F;
+  const double pre = opt.clip_grad_norm(1.0);
+  EXPECT_NEAR(pre, 0.1, 1e-6);
+  EXPECT_FLOAT_EQ(w.grad()[0], 0.1F);
+}
+
+TEST(Sgd, NesterovConvergesFasterOnQuadraticValley) {
+  // Same lr/momentum; Nesterov should not be slower on a smooth quadratic.
+  auto run = [](bool nesterov) {
+    Variable w(Tensor::from({1, 1}, {10.0F}), true);
+    nn::Sgd opt({w}, {.lr = 0.02F, .momentum = 0.9F, .nesterov = nesterov});
+    Tensor target = Tensor::from({1, 1}, {0.0F});
+    for (int i = 0; i < 60; ++i) {
+      Variable loss = ops::mse(w, target);
+      opt.zero_grad();
+      loss.backward();
+      opt.step();
+    }
+    return std::abs(w.value()[0]);
+  };
+  EXPECT_LE(run(true), run(false) + 0.15F);
+}
+
+TEST(Adam, EarlyStepsAreBiasCorrected) {
+  // First Adam step with gradient g moves by ~lr regardless of |g| (after
+  // bias correction, m_hat/sqrt(v_hat) == sign(g) for a constant gradient).
+  Variable w(Tensor::from({1, 1}, {0.0F}), true);
+  nn::Adam opt({w}, {.lr = 0.1F});
+  w.node()->ensure_grad();
+  w.node()->grad[0] = 1e-3F;  // tiny gradient
+  opt.step();
+  EXPECT_NEAR(w.value()[0], -0.1F, 1e-3F);
+}
+
+TEST(Optimizer, ZeroGradClearsBuffers) {
+  Variable w(Tensor::from({3}, {1.0F, 2.0F, 3.0F}), true);
+  nn::Sgd opt({w}, {});
+  w.node()->ensure_grad();
+  w.node()->grad.fill(7.0F);
+  opt.zero_grad();
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(w.grad()[i], 0.0F);
+}
+
+TEST(Optimizer, SkipsParametersWithoutAccumulatedGrads) {
+  // A parameter whose grad buffer was never allocated must not be touched.
+  Variable w(Tensor::from({1}, {5.0F}), true);
+  nn::Sgd opt({w}, {.lr = 1.0F, .weight_decay = 1.0F});
+  opt.step();  // no backward ran
+  EXPECT_FLOAT_EQ(w.value()[0], 5.0F);
+}
+
+/// Cosine schedule is monotone non-increasing over its domain.
+class CosineMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(CosineMonotone, NonIncreasing) {
+  const int total = GetParam();
+  nn::CosineSchedule s(0.5F, total);
+  for (int e = 0; e < total; ++e) {
+    EXPECT_GE(s.lr(e), s.lr(e + 1) - 1e-7F);
+  }
+  EXPECT_THROW(nn::CosineSchedule(0.1F, 0), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, CosineMonotone, ::testing::Values(1, 7, 40));
+
+TEST(Rng, GumbelMeanIsEulerMascheroni) {
+  dance::util::Rng rng(42);
+  double acc = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) acc += rng.gumbel();
+  EXPECT_NEAR(acc / n, 0.5772, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  dance::util::Rng rng(43);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(2.0F, 3.0F);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Correctness of the supernet's gated-mixture semantics.
+#include <gtest/gtest.h>
+
+#include "nas/supernet.h"
+
+namespace {
+
+using namespace dance;
+using arch::CandidateOp;
+using tensor::Tensor;
+using tensor::Variable;
+
+nas::SuperNetConfig one_block_config() {
+  nas::SuperNetConfig cfg;
+  cfg.input_dim = 6;
+  cfg.num_classes = 3;
+  cfg.width = 12;
+  cfg.num_blocks = 1;
+  return cfg;
+}
+
+/// With a single block and a linear classifier, a 50/50 gate over two ops
+/// must equal the average of the two single-op outputs (affinity of the
+/// classifier over the block output).
+TEST(SuperNetMixture, HalfHalfGateIsAverageOfPaths) {
+  util::Rng rng(1);
+  nas::SuperNet net(one_block_config(), rng);
+  Variable x(Tensor::randn({5, 6}, rng));
+
+  auto onehot_out = [&](CandidateOp op) {
+    return net.forward(x, net.onehot_gates({op}));
+  };
+  const Variable ya = onehot_out(CandidateOp::kMbConv3x3E3);
+  const Variable yb = onehot_out(CandidateOp::kMbConv7x7E6);
+
+  Tensor g = Tensor::zeros({1, arch::kNumCandidateOps});
+  g.at(0, static_cast<int>(CandidateOp::kMbConv3x3E3)) = 0.5F;
+  g.at(0, static_cast<int>(CandidateOp::kMbConv7x7E6)) = 0.5F;
+  nas::Gates gates;
+  gates.emplace_back(std::move(g), /*requires_grad=*/false);
+  // Gate tensors without gradients and exact zeros skip untouched ops, but a
+  // 0.5 entry must be honoured.
+  const Variable ymix = net.forward(x, gates);
+
+  for (std::size_t i = 0; i < ymix.value().numel(); ++i) {
+    EXPECT_NEAR(ymix.value()[i], 0.5F * (ya.value()[i] + yb.value()[i]), 1e-4F);
+  }
+}
+
+TEST(SuperNetMixture, ZeroGateEqualsZeroOp) {
+  util::Rng rng(2);
+  nas::SuperNet net(one_block_config(), rng);
+  Variable x(Tensor::randn({4, 6}, rng));
+  const Variable y_zero_op = net.forward(x, net.onehot_gates({CandidateOp::kZero}));
+  const Variable y_fixed = net.forward_fixed(x, {CandidateOp::kZero});
+  for (std::size_t i = 0; i < y_zero_op.value().numel(); ++i) {
+    EXPECT_FLOAT_EQ(y_zero_op.value()[i], y_fixed.value()[i]);
+  }
+}
+
+TEST(SuperNetMixture, GateScalesResidualBranchOnly) {
+  // Scaling the single active gate from 1 to 0 must interpolate between the
+  // op output and the pure skip path.
+  util::Rng rng(3);
+  nas::SuperNet net(one_block_config(), rng);
+  Variable x(Tensor::randn({3, 6}, rng));
+  const Variable skip = net.forward_fixed(x, {CandidateOp::kZero});
+  const Variable full = net.forward_fixed(x, {CandidateOp::kMbConv5x5E6});
+
+  Tensor g = Tensor::zeros({1, arch::kNumCandidateOps});
+  g.at(0, static_cast<int>(CandidateOp::kMbConv5x5E6)) = 0.25F;
+  nas::Gates gates;
+  gates.emplace_back(std::move(g), false);
+  const Variable quarter = net.forward(x, gates);
+  for (std::size_t i = 0; i < quarter.value().numel(); ++i) {
+    const float expect = skip.value()[i] + 0.25F * (full.value()[i] - skip.value()[i]);
+    EXPECT_NEAR(quarter.value()[i], expect, 1e-4F);
+  }
+}
+
+TEST(SuperNetMixture, WeightParameterCountMatchesOps) {
+  util::Rng rng(4);
+  const nas::SuperNetConfig cfg = one_block_config();
+  nas::SuperNet net(cfg, rng);
+  // stem + classifier + 6 non-Zero ops x 2 linears each.
+  std::size_t expected = static_cast<std::size_t>(6 * 12 + 12)   // stem
+                         + static_cast<std::size_t>(12 * 3 + 3);  // classifier
+  for (const auto op : arch::kAllCandidateOps) {
+    if (arch::is_zero(op)) continue;
+    const int h = nas::SuperNet::op_hidden_dim(cfg, op);
+    expected += static_cast<std::size_t>(12 * h + h + h * 12 + 12);
+  }
+  std::size_t actual = 0;
+  for (auto& p : net.weight_parameters()) actual += p.value().numel();
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(SuperNetMixture, ArchParamsExactlyOnePerBlock) {
+  util::Rng rng(5);
+  nas::SuperNetConfig cfg = one_block_config();
+  cfg.num_blocks = 4;
+  nas::SuperNet net(cfg, rng);
+  const auto alphas = net.arch_parameters();
+  ASSERT_EQ(alphas.size(), 4U);
+  for (const auto& a : alphas) {
+    EXPECT_EQ(a.value().rows(), 1);
+    EXPECT_EQ(a.value().cols(), arch::kNumCandidateOps);
+    EXPECT_TRUE(a.requires_grad());
+  }
+}
+
+}  // namespace

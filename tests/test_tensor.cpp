@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "tensor/variable.h"
+
+namespace {
+
+using dance::tensor::Tensor;
+using dance::tensor::Variable;
+namespace ops = dance::tensor::ops;
+
+TEST(Tensor, ZerosShapeAndFill) {
+  Tensor t = Tensor::zeros({2, 3});
+  EXPECT_EQ(t.numel(), 6U);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t[i], 0.0F);
+  t.fill(2.5F);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 2.5F);
+}
+
+TEST(Tensor, FromValuesRoundTrip) {
+  Tensor t = Tensor::from({2, 2}, {1.0F, 2.0F, 3.0F, 4.0F});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 2.0F);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3.0F);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 4.0F);
+}
+
+TEST(Tensor, FromThrowsOnSizeMismatch) {
+  EXPECT_THROW(Tensor::from({2, 2}, {1.0F}), std::invalid_argument);
+}
+
+TEST(Tensor, AddInPlaceAndScale) {
+  Tensor a = Tensor::from({3}, {1.0F, 2.0F, 3.0F});
+  Tensor b = Tensor::from({3}, {10.0F, 20.0F, 30.0F});
+  a.add_(b);
+  a.scale_(0.5F);
+  EXPECT_FLOAT_EQ(a[0], 5.5F);
+  EXPECT_FLOAT_EQ(a[2], 16.5F);
+}
+
+TEST(Tensor, AddInPlaceShapeMismatchThrows) {
+  Tensor a = Tensor::zeros({3});
+  Tensor b = Tensor::zeros({4});
+  EXPECT_THROW(a.add_(b), std::invalid_argument);
+}
+
+TEST(Autograd, AddBackward) {
+  Variable a(Tensor::from({1, 2}, {1.0F, 2.0F}), true);
+  Variable b(Tensor::from({1, 2}, {3.0F, 4.0F}), true);
+  Variable s = ops::sum_all(ops::add(a, b));
+  EXPECT_FLOAT_EQ(s.value()[0], 10.0F);
+  s.backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0F);
+  EXPECT_FLOAT_EQ(b.grad()[1], 1.0F);
+}
+
+TEST(Autograd, MatmulForwardValues) {
+  Variable a(Tensor::from({2, 2}, {1.0F, 2.0F, 3.0F, 4.0F}), true);
+  Variable b(Tensor::from({2, 2}, {5.0F, 6.0F, 7.0F, 8.0F}), true);
+  Variable c = ops::matmul(a, b);
+  EXPECT_FLOAT_EQ(c.value().at(0, 0), 19.0F);
+  EXPECT_FLOAT_EQ(c.value().at(0, 1), 22.0F);
+  EXPECT_FLOAT_EQ(c.value().at(1, 0), 43.0F);
+  EXPECT_FLOAT_EQ(c.value().at(1, 1), 50.0F);
+}
+
+TEST(Autograd, MatmulBackward) {
+  Variable a(Tensor::from({1, 2}, {1.0F, 2.0F}), true);
+  Variable b(Tensor::from({2, 1}, {3.0F, 4.0F}), true);
+  Variable s = ops::sum_all(ops::matmul(a, b));
+  s.backward();
+  // d(a.b)/da = b^T, d/db = a^T
+  EXPECT_FLOAT_EQ(a.grad()[0], 3.0F);
+  EXPECT_FLOAT_EQ(a.grad()[1], 4.0F);
+  EXPECT_FLOAT_EQ(b.grad()[0], 1.0F);
+  EXPECT_FLOAT_EQ(b.grad()[1], 2.0F);
+}
+
+TEST(Autograd, ReluMasksNegative) {
+  Variable a(Tensor::from({1, 3}, {-1.0F, 0.5F, 2.0F}), true);
+  Variable r = ops::relu(a);
+  EXPECT_FLOAT_EQ(r.value()[0], 0.0F);
+  EXPECT_FLOAT_EQ(r.value()[1], 0.5F);
+  Variable s = ops::sum_all(r);
+  s.backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0F);
+  EXPECT_FLOAT_EQ(a.grad()[1], 1.0F);
+  EXPECT_FLOAT_EQ(a.grad()[2], 1.0F);
+}
+
+TEST(Autograd, SoftmaxRowsSumToOne) {
+  Variable a(Tensor::from({2, 3}, {1.0F, 2.0F, 3.0F, -1.0F, 0.0F, 1.0F}), true);
+  Variable p = ops::softmax_rows(a);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0.0F;
+    for (int c = 0; c < 3; ++c) sum += p.value().at(r, c);
+    EXPECT_NEAR(sum, 1.0F, 1e-6F);
+  }
+}
+
+TEST(Autograd, CrossEntropyMatchesManual) {
+  Variable logits(Tensor::from({1, 2}, {0.0F, 0.0F}), true);
+  Variable loss = ops::cross_entropy(logits, {0});
+  EXPECT_NEAR(loss.value()[0], std::log(2.0F), 1e-5F);
+  loss.backward();
+  // grad = p - onehot
+  EXPECT_NEAR(logits.grad()[0], 0.5F - 1.0F, 1e-5F);
+  EXPECT_NEAR(logits.grad()[1], 0.5F, 1e-5F);
+}
+
+TEST(Autograd, MseValueAndGrad) {
+  Variable p(Tensor::from({1, 2}, {1.0F, 3.0F}), true);
+  Tensor t = Tensor::from({1, 2}, {0.0F, 0.0F});
+  Variable loss = ops::mse(p, t);
+  EXPECT_NEAR(loss.value()[0], (1.0F + 9.0F) / 2.0F, 1e-5F);
+  loss.backward();
+  EXPECT_NEAR(p.grad()[0], 1.0F, 1e-5F);
+  EXPECT_NEAR(p.grad()[1], 3.0F, 1e-5F);
+}
+
+TEST(Autograd, MsreIsScaleInvariant) {
+  // 10% error on a small and a large target produce the same loss.
+  Variable p1(Tensor::from({1, 1}, {1.1F}), true);
+  Variable p2(Tensor::from({1, 1}, {1100.0F}), true);
+  Variable l1 = ops::msre(p1, Tensor::from({1, 1}, {1.0F}));
+  Variable l2 = ops::msre(p2, Tensor::from({1, 1}, {1000.0F}));
+  EXPECT_NEAR(l1.value()[0], l2.value()[0], 1e-5F);
+  EXPECT_NEAR(l1.value()[0], 0.01F, 1e-5F);
+}
+
+TEST(Autograd, ScaleByBroadcastsScalar) {
+  Variable a(Tensor::from({1, 2}, {2.0F, 4.0F}), true);
+  Variable s(Tensor::from({1, 1}, {0.5F}), true);
+  Variable out = ops::scale_by(a, s);
+  EXPECT_FLOAT_EQ(out.value()[0], 1.0F);
+  ops::sum_all(out).backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.5F);
+  EXPECT_FLOAT_EQ(s.grad()[0], 6.0F);  // sum of a
+}
+
+TEST(Autograd, ConcatAndSliceRoundTrip) {
+  Variable a(Tensor::from({1, 2}, {1.0F, 2.0F}), true);
+  Variable b(Tensor::from({1, 3}, {3.0F, 4.0F, 5.0F}), true);
+  Variable cat = ops::concat_cols({a, b});
+  ASSERT_EQ(cat.value().cols(), 5);
+  Variable back = ops::slice_cols(cat, 2, 5);
+  EXPECT_FLOAT_EQ(back.value()[0], 3.0F);
+  EXPECT_FLOAT_EQ(back.value()[2], 5.0F);
+  ops::sum_all(back).backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0F);
+  EXPECT_FLOAT_EQ(b.grad()[0], 1.0F);
+}
+
+TEST(Autograd, BackwardRequiresScalar) {
+  Variable a(Tensor::from({1, 2}, {1.0F, 2.0F}), true);
+  Variable b = ops::relu(a);
+  EXPECT_THROW(b.backward(), std::logic_error);
+}
+
+TEST(Autograd, GumbelSoftmaxRowsSumToOne) {
+  dance::util::Rng rng(3);
+  Variable a(Tensor::from({2, 4}, {0.0F, 1.0F, 2.0F, 3.0F, 1.0F, 1.0F, 1.0F, 1.0F}),
+             true);
+  Variable g = ops::gumbel_softmax(a, 0.7F, false, rng);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0.0F;
+    for (int c = 0; c < 4; ++c) sum += g.value().at(r, c);
+    EXPECT_NEAR(sum, 1.0F, 1e-5F);
+  }
+}
+
+TEST(Autograd, GumbelSoftmaxHardIsOneHot) {
+  dance::util::Rng rng(5);
+  Variable a(Tensor::from({3, 4}, std::vector<float>(12, 0.0F)), true);
+  Variable g = ops::gumbel_softmax(a, 1.0F, true, rng);
+  for (int r = 0; r < 3; ++r) {
+    int ones = 0;
+    for (int c = 0; c < 4; ++c) {
+      const float v = g.value().at(r, c);
+      EXPECT_TRUE(v == 0.0F || v == 1.0F);
+      ones += v == 1.0F ? 1 : 0;
+    }
+    EXPECT_EQ(ones, 1);
+  }
+}
+
+TEST(Autograd, HardMaxStraightThrough) {
+  Variable a(Tensor::from({1, 3}, {0.1F, 0.9F, 0.3F}), true);
+  Variable h = ops::hard_max_st(a);
+  EXPECT_FLOAT_EQ(h.value()[0], 0.0F);
+  EXPECT_FLOAT_EQ(h.value()[1], 1.0F);
+  ops::sum_all(h).backward();
+  // straight-through: all-ones gradient
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0F);
+  EXPECT_FLOAT_EQ(a.grad()[2], 1.0F);
+}
+
+}  // namespace

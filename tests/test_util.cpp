@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dance::util;
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FLOAT_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, RandintWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.randint(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(2);
+  const auto p = rng.permutation(50);
+  std::vector<bool> seen(50, false);
+  for (int v : p) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 50);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+TEST(Rng, CategoricalRespectsZeroWeights) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.categorical({0.0F, 1.0F, 0.0F}), 1);
+  }
+}
+
+TEST(Rng, GumbelSamplesAreFinite) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(std::isfinite(rng.gumbel()));
+  }
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.2909944, 1e-6);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Stats, MeanRelativeError) {
+  const std::vector<double> pred = {110.0, 90.0};
+  const std::vector<double> truth = {100.0, 100.0};
+  EXPECT_NEAR(mean_relative_error(pred, truth), 0.1, 1e-12);
+}
+
+TEST(Stats, RegressionAccuracyClamped) {
+  const std::vector<double> pred = {300.0};
+  const std::vector<double> truth = {100.0};
+  EXPECT_DOUBLE_EQ(regression_accuracy_pct(pred, truth), 0.0);  // 200% error
+  EXPECT_DOUBLE_EQ(regression_accuracy_pct(truth, truth), 100.0);
+}
+
+TEST(Stats, ClassificationAccuracy) {
+  const std::vector<int> pred = {1, 2, 3, 4};
+  const std::vector<int> truth = {1, 2, 0, 4};
+  EXPECT_DOUBLE_EQ(classification_accuracy_pct(pred, truth), 75.0);
+}
+
+TEST(Stats, SizeMismatchThrows) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(mean_relative_error(a, b), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.50"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| longer"), std::string::npos);
+  EXPECT_NE(s.find("|----"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = "/tmp/dance_test_csv.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.add_row({"1", "2"});
+    w.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::filesystem::remove(path);
+}
+
+TEST(Parallel, CoversWholeRangeOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  dance::util::parallel_for(0, 1000, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  dance::util::parallel_for(5, 5, [&](long, long) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
