@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hwgen_speed.dir/bench_hwgen_speed.cpp.o"
+  "CMakeFiles/bench_hwgen_speed.dir/bench_hwgen_speed.cpp.o.d"
+  "bench_hwgen_speed"
+  "bench_hwgen_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hwgen_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

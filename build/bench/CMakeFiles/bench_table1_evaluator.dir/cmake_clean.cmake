@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_evaluator.dir/bench_table1_evaluator.cpp.o"
+  "CMakeFiles/bench_table1_evaluator.dir/bench_table1_evaluator.cpp.o.d"
+  "bench_table1_evaluator"
+  "bench_table1_evaluator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_evaluator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_imagenet.dir/bench_table4_imagenet.cpp.o"
+  "CMakeFiles/bench_table4_imagenet.dir/bench_table4_imagenet.cpp.o.d"
+  "bench_table4_imagenet"
+  "bench_table4_imagenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_imagenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/backend_comparison.cpp" "examples/CMakeFiles/backend_comparison.dir/backend_comparison.cpp.o" "gcc" "examples/CMakeFiles/backend_comparison.dir/backend_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/search/CMakeFiles/dance_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/evalnet/CMakeFiles/dance_evalnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/dance_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/dance_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwgen/CMakeFiles/dance_hwgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/dance_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dance_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dance_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dance_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dance_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

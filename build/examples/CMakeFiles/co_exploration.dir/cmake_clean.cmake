@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_exploration.dir/co_exploration.cpp.o"
+  "CMakeFiles/co_exploration.dir/co_exploration.cpp.o.d"
+  "co_exploration"
+  "co_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluator_checkpoint.dir/evaluator_checkpoint.cpp.o"
+  "CMakeFiles/evaluator_checkpoint.dir/evaluator_checkpoint.cpp.o.d"
+  "evaluator_checkpoint"
+  "evaluator_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluator_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_design_space.dir/hw_design_space.cpp.o"
+  "CMakeFiles/hw_design_space.dir/hw_design_space.cpp.o.d"
+  "hw_design_space"
+  "hw_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

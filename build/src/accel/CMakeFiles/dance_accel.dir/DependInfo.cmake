@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/conv_shape.cpp" "src/accel/CMakeFiles/dance_accel.dir/conv_shape.cpp.o" "gcc" "src/accel/CMakeFiles/dance_accel.dir/conv_shape.cpp.o.d"
+  "/root/repo/src/accel/cost_model.cpp" "src/accel/CMakeFiles/dance_accel.dir/cost_model.cpp.o" "gcc" "src/accel/CMakeFiles/dance_accel.dir/cost_model.cpp.o.d"
+  "/root/repo/src/accel/systolic_sim.cpp" "src/accel/CMakeFiles/dance_accel.dir/systolic_sim.cpp.o" "gcc" "src/accel/CMakeFiles/dance_accel.dir/systolic_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dance_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dance_accel.dir/conv_shape.cpp.o"
+  "CMakeFiles/dance_accel.dir/conv_shape.cpp.o.d"
+  "CMakeFiles/dance_accel.dir/cost_model.cpp.o"
+  "CMakeFiles/dance_accel.dir/cost_model.cpp.o.d"
+  "CMakeFiles/dance_accel.dir/systolic_sim.cpp.o"
+  "CMakeFiles/dance_accel.dir/systolic_sim.cpp.o.d"
+  "libdance_accel.a"
+  "libdance_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dance_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

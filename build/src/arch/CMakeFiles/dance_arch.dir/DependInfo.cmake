@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/backbone.cpp" "src/arch/CMakeFiles/dance_arch.dir/backbone.cpp.o" "gcc" "src/arch/CMakeFiles/dance_arch.dir/backbone.cpp.o.d"
+  "/root/repo/src/arch/cost_table.cpp" "src/arch/CMakeFiles/dance_arch.dir/cost_table.cpp.o" "gcc" "src/arch/CMakeFiles/dance_arch.dir/cost_table.cpp.o.d"
+  "/root/repo/src/arch/ops.cpp" "src/arch/CMakeFiles/dance_arch.dir/ops.cpp.o" "gcc" "src/arch/CMakeFiles/dance_arch.dir/ops.cpp.o.d"
+  "/root/repo/src/arch/space.cpp" "src/arch/CMakeFiles/dance_arch.dir/space.cpp.o" "gcc" "src/arch/CMakeFiles/dance_arch.dir/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/dance_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwgen/CMakeFiles/dance_hwgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dance_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

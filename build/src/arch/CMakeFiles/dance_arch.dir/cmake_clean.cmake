@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dance_arch.dir/backbone.cpp.o"
+  "CMakeFiles/dance_arch.dir/backbone.cpp.o.d"
+  "CMakeFiles/dance_arch.dir/cost_table.cpp.o"
+  "CMakeFiles/dance_arch.dir/cost_table.cpp.o.d"
+  "CMakeFiles/dance_arch.dir/ops.cpp.o"
+  "CMakeFiles/dance_arch.dir/ops.cpp.o.d"
+  "CMakeFiles/dance_arch.dir/space.cpp.o"
+  "CMakeFiles/dance_arch.dir/space.cpp.o.d"
+  "libdance_arch.a"
+  "libdance_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dance_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dance_data.dir/synthetic.cpp.o"
+  "CMakeFiles/dance_data.dir/synthetic.cpp.o.d"
+  "libdance_data.a"
+  "libdance_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dance_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

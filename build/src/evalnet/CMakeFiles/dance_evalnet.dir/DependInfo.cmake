@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evalnet/cost_net.cpp" "src/evalnet/CMakeFiles/dance_evalnet.dir/cost_net.cpp.o" "gcc" "src/evalnet/CMakeFiles/dance_evalnet.dir/cost_net.cpp.o.d"
+  "/root/repo/src/evalnet/dataset.cpp" "src/evalnet/CMakeFiles/dance_evalnet.dir/dataset.cpp.o" "gcc" "src/evalnet/CMakeFiles/dance_evalnet.dir/dataset.cpp.o.d"
+  "/root/repo/src/evalnet/evaluator.cpp" "src/evalnet/CMakeFiles/dance_evalnet.dir/evaluator.cpp.o" "gcc" "src/evalnet/CMakeFiles/dance_evalnet.dir/evaluator.cpp.o.d"
+  "/root/repo/src/evalnet/hwgen_net.cpp" "src/evalnet/CMakeFiles/dance_evalnet.dir/hwgen_net.cpp.o" "gcc" "src/evalnet/CMakeFiles/dance_evalnet.dir/hwgen_net.cpp.o.d"
+  "/root/repo/src/evalnet/trainer.cpp" "src/evalnet/CMakeFiles/dance_evalnet.dir/trainer.cpp.o" "gcc" "src/evalnet/CMakeFiles/dance_evalnet.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dance_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/dance_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwgen/CMakeFiles/dance_hwgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dance_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/dance_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dance_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

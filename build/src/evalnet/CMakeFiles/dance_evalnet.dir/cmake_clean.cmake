@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dance_evalnet.dir/cost_net.cpp.o"
+  "CMakeFiles/dance_evalnet.dir/cost_net.cpp.o.d"
+  "CMakeFiles/dance_evalnet.dir/dataset.cpp.o"
+  "CMakeFiles/dance_evalnet.dir/dataset.cpp.o.d"
+  "CMakeFiles/dance_evalnet.dir/evaluator.cpp.o"
+  "CMakeFiles/dance_evalnet.dir/evaluator.cpp.o.d"
+  "CMakeFiles/dance_evalnet.dir/hwgen_net.cpp.o"
+  "CMakeFiles/dance_evalnet.dir/hwgen_net.cpp.o.d"
+  "CMakeFiles/dance_evalnet.dir/trainer.cpp.o"
+  "CMakeFiles/dance_evalnet.dir/trainer.cpp.o.d"
+  "libdance_evalnet.a"
+  "libdance_evalnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dance_evalnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

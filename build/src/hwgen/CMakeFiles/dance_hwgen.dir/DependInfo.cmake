@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwgen/coordinate_descent.cpp" "src/hwgen/CMakeFiles/dance_hwgen.dir/coordinate_descent.cpp.o" "gcc" "src/hwgen/CMakeFiles/dance_hwgen.dir/coordinate_descent.cpp.o.d"
+  "/root/repo/src/hwgen/exhaustive.cpp" "src/hwgen/CMakeFiles/dance_hwgen.dir/exhaustive.cpp.o" "gcc" "src/hwgen/CMakeFiles/dance_hwgen.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/hwgen/pareto.cpp" "src/hwgen/CMakeFiles/dance_hwgen.dir/pareto.cpp.o" "gcc" "src/hwgen/CMakeFiles/dance_hwgen.dir/pareto.cpp.o.d"
+  "/root/repo/src/hwgen/random_search.cpp" "src/hwgen/CMakeFiles/dance_hwgen.dir/random_search.cpp.o" "gcc" "src/hwgen/CMakeFiles/dance_hwgen.dir/random_search.cpp.o.d"
+  "/root/repo/src/hwgen/search_space.cpp" "src/hwgen/CMakeFiles/dance_hwgen.dir/search_space.cpp.o" "gcc" "src/hwgen/CMakeFiles/dance_hwgen.dir/search_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/dance_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dance_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dance_hwgen.dir/coordinate_descent.cpp.o"
+  "CMakeFiles/dance_hwgen.dir/coordinate_descent.cpp.o.d"
+  "CMakeFiles/dance_hwgen.dir/exhaustive.cpp.o"
+  "CMakeFiles/dance_hwgen.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/dance_hwgen.dir/pareto.cpp.o"
+  "CMakeFiles/dance_hwgen.dir/pareto.cpp.o.d"
+  "CMakeFiles/dance_hwgen.dir/random_search.cpp.o"
+  "CMakeFiles/dance_hwgen.dir/random_search.cpp.o.d"
+  "CMakeFiles/dance_hwgen.dir/search_space.cpp.o"
+  "CMakeFiles/dance_hwgen.dir/search_space.cpp.o.d"
+  "libdance_hwgen.a"
+  "libdance_hwgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dance_hwgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdance_hwgen.a"
+)

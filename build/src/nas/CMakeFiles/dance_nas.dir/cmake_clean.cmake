@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dance_nas.dir/fixed_net.cpp.o"
+  "CMakeFiles/dance_nas.dir/fixed_net.cpp.o.d"
+  "CMakeFiles/dance_nas.dir/supernet.cpp.o"
+  "CMakeFiles/dance_nas.dir/supernet.cpp.o.d"
+  "CMakeFiles/dance_nas.dir/trainer.cpp.o"
+  "CMakeFiles/dance_nas.dir/trainer.cpp.o.d"
+  "libdance_nas.a"
+  "libdance_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dance_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/dance_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/dance_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/dance_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/dance_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/dance_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/dance_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/dance_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/dance_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/dance_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/dance_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/dance_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/dance_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dance_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dance_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dance_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/dance_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/dance_nn.dir/linear.cpp.o"
+  "CMakeFiles/dance_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/dance_nn.dir/mlp.cpp.o"
+  "CMakeFiles/dance_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/dance_nn.dir/module.cpp.o"
+  "CMakeFiles/dance_nn.dir/module.cpp.o.d"
+  "CMakeFiles/dance_nn.dir/optim.cpp.o"
+  "CMakeFiles/dance_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/dance_nn.dir/serialize.cpp.o"
+  "CMakeFiles/dance_nn.dir/serialize.cpp.o.d"
+  "libdance_nn.a"
+  "libdance_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dance_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

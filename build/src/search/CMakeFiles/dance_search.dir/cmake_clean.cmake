@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dance_search.dir/baselines.cpp.o"
+  "CMakeFiles/dance_search.dir/baselines.cpp.o.d"
+  "CMakeFiles/dance_search.dir/dance.cpp.o"
+  "CMakeFiles/dance_search.dir/dance.cpp.o.d"
+  "CMakeFiles/dance_search.dir/design_points.cpp.o"
+  "CMakeFiles/dance_search.dir/design_points.cpp.o.d"
+  "CMakeFiles/dance_search.dir/ea.cpp.o"
+  "CMakeFiles/dance_search.dir/ea.cpp.o.d"
+  "CMakeFiles/dance_search.dir/rl.cpp.o"
+  "CMakeFiles/dance_search.dir/rl.cpp.o.d"
+  "libdance_search.a"
+  "libdance_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dance_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

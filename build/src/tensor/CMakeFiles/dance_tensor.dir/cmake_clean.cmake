@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dance_tensor.dir/ops.cpp.o"
+  "CMakeFiles/dance_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/dance_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/dance_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/dance_tensor.dir/variable.cpp.o"
+  "CMakeFiles/dance_tensor.dir/variable.cpp.o.d"
+  "libdance_tensor.a"
+  "libdance_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dance_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

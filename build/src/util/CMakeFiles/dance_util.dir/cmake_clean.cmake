@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dance_util.dir/csv.cpp.o"
+  "CMakeFiles/dance_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dance_util.dir/stats.cpp.o"
+  "CMakeFiles/dance_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dance_util.dir/table.cpp.o"
+  "CMakeFiles/dance_util.dir/table.cpp.o.d"
+  "libdance_util.a"
+  "libdance_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dance_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accel.cpp" "tests/CMakeFiles/dance_tests.dir/test_accel.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_accel.cpp.o.d"
+  "/root/repo/tests/test_arch.cpp" "tests/CMakeFiles/dance_tests.dir/test_arch.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_arch.cpp.o.d"
+  "/root/repo/tests/test_backend_agnostic.cpp" "tests/CMakeFiles/dance_tests.dir/test_backend_agnostic.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_backend_agnostic.cpp.o.d"
+  "/root/repo/tests/test_contracts.cpp" "tests/CMakeFiles/dance_tests.dir/test_contracts.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_contracts.cpp.o.d"
+  "/root/repo/tests/test_cost_model_sweep.cpp" "tests/CMakeFiles/dance_tests.dir/test_cost_model_sweep.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_cost_model_sweep.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/dance_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_design_points.cpp" "tests/CMakeFiles/dance_tests.dir/test_design_points.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_design_points.cpp.o.d"
+  "/root/repo/tests/test_ea.cpp" "tests/CMakeFiles/dance_tests.dir/test_ea.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_ea.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/dance_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_evalnet.cpp" "tests/CMakeFiles/dance_tests.dir/test_evalnet.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_evalnet.cpp.o.d"
+  "/root/repo/tests/test_evalnet_dataset.cpp" "tests/CMakeFiles/dance_tests.dir/test_evalnet_dataset.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_evalnet_dataset.cpp.o.d"
+  "/root/repo/tests/test_hwgen.cpp" "tests/CMakeFiles/dance_tests.dir/test_hwgen.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_hwgen.cpp.o.d"
+  "/root/repo/tests/test_hwgen_heuristics.cpp" "tests/CMakeFiles/dance_tests.dir/test_hwgen_heuristics.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_hwgen_heuristics.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/dance_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_lowering_sweep.cpp" "tests/CMakeFiles/dance_tests.dir/test_lowering_sweep.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_lowering_sweep.cpp.o.d"
+  "/root/repo/tests/test_nas.cpp" "tests/CMakeFiles/dance_tests.dir/test_nas.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_nas.cpp.o.d"
+  "/root/repo/tests/test_nn.cpp" "tests/CMakeFiles/dance_tests.dir/test_nn.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_nn.cpp.o.d"
+  "/root/repo/tests/test_ops_gradcheck.cpp" "tests/CMakeFiles/dance_tests.dir/test_ops_gradcheck.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_ops_gradcheck.cpp.o.d"
+  "/root/repo/tests/test_optim_more.cpp" "tests/CMakeFiles/dance_tests.dir/test_optim_more.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_optim_more.cpp.o.d"
+  "/root/repo/tests/test_reproducibility.cpp" "tests/CMakeFiles/dance_tests.dir/test_reproducibility.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_reproducibility.cpp.o.d"
+  "/root/repo/tests/test_search.cpp" "tests/CMakeFiles/dance_tests.dir/test_search.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_search.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/dance_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_supernet_mixture.cpp" "tests/CMakeFiles/dance_tests.dir/test_supernet_mixture.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_supernet_mixture.cpp.o.d"
+  "/root/repo/tests/test_systolic_sim.cpp" "tests/CMakeFiles/dance_tests.dir/test_systolic_sim.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_systolic_sim.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/dance_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/dance_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/dance_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/search/CMakeFiles/dance_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/evalnet/CMakeFiles/dance_evalnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/dance_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/dance_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwgen/CMakeFiles/dance_hwgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/dance_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dance_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dance_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dance_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dance_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dance_tests.
+# This may be replaced when dependencies are built.
