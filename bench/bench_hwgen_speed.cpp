@@ -4,11 +4,14 @@
 //
 // We time, on the same machine:
 //   - exhaustive hardware generation with direct cost-model evaluation,
-//   - exhaustive generation through the per-layer cost LUT,
+//     serial and on the runtime thread pool,
+//   - exhaustive generation through the per-layer cost LUT (serial + pool),
 //   - coordinate-descent hardware generation,
 //   - hardware generation *network* inference.
 // Expected shape: the learned generator is orders of magnitude faster than
-// the exact search, which is the paper's argument for making it a network.
+// the exact search, which is the paper's argument for making it a network;
+// the pool-parallel exact search beats the serial one by ~#lanes on
+// machines with hardware_concurrency() > 1.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -18,6 +21,7 @@
 #include "evalnet/hwgen_net.h"
 #include "hwgen/coordinate_descent.h"
 #include "hwgen/exhaustive.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
@@ -49,6 +53,17 @@ void BM_ExhaustiveDirect(benchmark::State& state) {
 }
 BENCHMARK(BM_ExhaustiveDirect)->Unit(benchmark::kMillisecond);
 
+void BM_ExhaustiveDirectSerial(benchmark::State& state) {
+  Env& e = env();
+  hwgen::ExhaustiveSearch search(e.hw_space, e.model);
+  const auto layers = e.arch_space.lower(e.arch_space.random(e.rng));
+  const runtime::SerialGuard serial;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search.run(layers, e.cost_fn));
+  }
+}
+BENCHMARK(BM_ExhaustiveDirectSerial)->Unit(benchmark::kMillisecond);
+
 void BM_ExhaustiveViaLut(benchmark::State& state) {
   Env& e = env();
   const arch::Architecture a = e.arch_space.random(e.rng);
@@ -57,6 +72,37 @@ void BM_ExhaustiveViaLut(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExhaustiveViaLut)->Unit(benchmark::kMillisecond);
+
+void BM_ExhaustiveViaLutSerial(benchmark::State& state) {
+  Env& e = env();
+  const arch::Architecture a = e.arch_space.random(e.rng);
+  const runtime::SerialGuard serial;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.table->optimal(a, e.cost_fn));
+  }
+}
+BENCHMARK(BM_ExhaustiveViaLutSerial)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluateAllConfigs(benchmark::State& state) {
+  Env& e = env();
+  hwgen::ExhaustiveSearch search(e.hw_space, e.model);
+  const auto layers = e.arch_space.lower(e.arch_space.random(e.rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search.evaluate_all(layers));
+  }
+}
+BENCHMARK(BM_EvaluateAllConfigs)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluateAllConfigsSerial(benchmark::State& state) {
+  Env& e = env();
+  hwgen::ExhaustiveSearch search(e.hw_space, e.model);
+  const auto layers = e.arch_space.lower(e.arch_space.random(e.rng));
+  const runtime::SerialGuard serial;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search.evaluate_all(layers));
+  }
+}
+BENCHMARK(BM_EvaluateAllConfigsSerial)->Unit(benchmark::kMillisecond);
 
 void BM_CoordinateDescent(benchmark::State& state) {
   Env& e = env();
@@ -87,7 +133,10 @@ int main(int argc, char** argv) {
   std::printf("== §4.2 in-text: hardware generation speed, learned network vs "
               "exact search ==\n");
   std::printf("paper: network inference ~0.5 ms vs exhaustive search ~112 s "
-              "(48 threads).\n\n");
+              "(48 threads).\n");
+  std::printf("runtime pool lanes: %d (*Serial variants force inline "
+              "execution; the ratio is the pool speedup).\n\n",
+              dance::runtime::global_pool().num_threads());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -3,7 +3,17 @@
 #include <limits>
 #include <stdexcept>
 
+#include "runtime/profiler.h"
+#include "runtime/thread_pool.h"
+
 namespace dance::arch {
+
+namespace {
+/// Table lookups are cheap; batch plenty of configs per chunk.
+constexpr long kTableGrain = 256;
+/// Cost-model evaluation per config is expensive; small chunks balance well.
+constexpr long kModelGrain = 8;
+}  // namespace
 
 CostTable::CostTable(const ArchSpace& arch_space,
                      const hwgen::HwSearchSpace& hw_space,
@@ -33,29 +43,37 @@ CostTable::CostTable(const ArchSpace& arch_space,
     }
   }
 
-  for (std::size_t ci = 0; ci < num_configs_; ++ci) {
-    const accel::AcceleratorConfig config = hw_space_.config_at(ci);
-    area_[ci] = model_.area_mm2(config);
-    for (const auto& shape : arch_space_.fixed_shapes()) {
-      const accel::LayerCost lc = model_.layer_cost(config, shape);
-      fixed_cycles_[ci] += lc.cycles;
-      fixed_energy_[ci] += lc.energy_pj;
-    }
-    for (int slot = 0; slot < slots; ++slot) {
-      for (int op = 0; op < kNumCandidateOps; ++op) {
-        double cycles = 0.0;
-        double energy = 0.0;
-        for (const auto& shape :
-             choice_shapes[static_cast<std::size_t>(slot)][static_cast<std::size_t>(op)]) {
-          const accel::LayerCost lc = model_.layer_cost(config, shape);
-          cycles += lc.cycles;
-          energy += lc.energy_pj;
+  // Every configuration fills its own column of the tables (disjoint writes)
+  // and all per-config sums accumulate inside a single lane, so the table is
+  // bit-identical to a serial build at any thread count.
+  DANCE_PROFILE_SCOPE("arch.cost_table.build");
+  runtime::global_pool().parallel_for(
+      0, static_cast<long>(num_configs_), kModelGrain, [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) {
+          const auto ci = static_cast<std::size_t>(i);
+          const accel::AcceleratorConfig config = hw_space_.config_at(ci);
+          area_[ci] = model_.area_mm2(config);
+          for (const auto& shape : arch_space_.fixed_shapes()) {
+            const accel::LayerCost lc = model_.layer_cost(config, shape);
+            fixed_cycles_[ci] += lc.cycles;
+            fixed_energy_[ci] += lc.energy_pj;
+          }
+          for (int slot = 0; slot < slots; ++slot) {
+            for (int op = 0; op < kNumCandidateOps; ++op) {
+              double cycles = 0.0;
+              double energy = 0.0;
+              for (const auto& shape : choice_shapes[static_cast<std::size_t>(
+                       slot)][static_cast<std::size_t>(op)]) {
+                const accel::LayerCost lc = model_.layer_cost(config, shape);
+                cycles += lc.cycles;
+                energy += lc.energy_pj;
+              }
+              choice_cycles_[slot_offset(slot, op) + ci] = cycles;
+              choice_energy_[slot_offset(slot, op) + ci] = energy;
+            }
+          }
         }
-        choice_cycles_[slot_offset(slot, op) + ci] = cycles;
-        choice_energy_[slot_offset(slot, op) + ci] = energy;
-      }
-    }
-  }
+      });
 }
 
 accel::CostMetrics CostTable::metrics(std::size_t config_index,
@@ -80,23 +98,42 @@ accel::CostMetrics CostTable::metrics(std::size_t config_index,
 
 std::vector<accel::CostMetrics> CostTable::evaluate_all(
     const Architecture& a) const {
+  arch_space_.validate(a);
   std::vector<accel::CostMetrics> out(num_configs_);
-  for (std::size_t ci = 0; ci < num_configs_; ++ci) out[ci] = metrics(ci, a);
+  runtime::global_pool().parallel_for(
+      0, static_cast<long>(num_configs_), kTableGrain, [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) {
+          const auto ci = static_cast<std::size_t>(i);
+          out[ci] = metrics(ci, a);
+        }
+      });
   return out;
 }
 
 hwgen::HwSearchResult CostTable::optimal(const Architecture& a,
                                          const accel::HwCostFn& cost_fn) const {
-  hwgen::HwSearchResult best;
-  best.cost = std::numeric_limits<double>::infinity();
+  DANCE_PROFILE_SCOPE("arch.cost_table.optimal");
+  arch_space_.validate(a);
+  // Parallel cost fill (disjoint writes), serial arg-min: the first index at
+  // the minimum wins, exactly like the historical serial scan.
+  std::vector<double> costs(num_configs_);
+  runtime::global_pool().parallel_for(
+      0, static_cast<long>(num_configs_), kTableGrain, [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) {
+          const auto ci = static_cast<std::size_t>(i);
+          costs[ci] = cost_fn(metrics(ci, a));
+        }
+      });
+  std::size_t best_index = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
   for (std::size_t ci = 0; ci < num_configs_; ++ci) {
-    const accel::CostMetrics m = metrics(ci, a);
-    const double cost = cost_fn(m);
-    if (cost < best.cost) {
-      best = hwgen::HwSearchResult{hw_space_.config_at(ci), m, cost};
+    if (costs[ci] < best_cost) {
+      best_cost = costs[ci];
+      best_index = ci;
     }
   }
-  return best;
+  return hwgen::HwSearchResult{hw_space_.config_at(best_index),
+                               metrics(best_index, a), best_cost};
 }
 
 accel::CostMetrics CostTable::expected_metrics(

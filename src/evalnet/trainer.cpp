@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/optim.h"
+#include "runtime/profiler.h"
 #include "util/stats.h"
 
 namespace dance::evalnet {
@@ -72,6 +73,7 @@ void check_nonempty(const EvaluatorDataset& ds, const char* what) {
 
 HwGenEval evaluate_hwgen_net(HwGenNet& net, const EvaluatorDataset& val) {
   check_nonempty(val, "evaluate_hwgen_net");
+  DANCE_PROFILE_SCOPE("evalnet.hwgen.eval");
   net.set_training(false);
   const auto idx = all_indices(val);
   const Variable x(batch_arch(val, idx));
@@ -116,6 +118,7 @@ HwGenEval train_hwgen_net(HwGenNet& net, const EvaluatorDataset& train,
     optimizer.set_lr(schedule.lr(epoch));
     const auto perm = rng.permutation(n);
     for (int start = 0; start < n; start += opts.batch_size) {
+      DANCE_PROFILE_SCOPE("evalnet.hwgen.step");
       const int stop = std::min(n, start + opts.batch_size);
       const std::vector<int> idx(perm.begin() + start, perm.begin() + stop);
       const Variable x(batch_arch(train, idx));
@@ -145,6 +148,7 @@ HwGenEval train_hwgen_net(HwGenNet& net, const EvaluatorDataset& train,
 
 CostEval evaluate_cost_net(CostNet& net, const EvaluatorDataset& val) {
   check_nonempty(val, "evaluate_cost_net");
+  DANCE_PROFILE_SCOPE("evalnet.cost.eval");
   net.set_training(false);
   const auto idx = all_indices(val);
   const Variable x(batch_arch(val, idx));
@@ -195,6 +199,7 @@ CostEval train_cost_net(CostNet& net, const EvaluatorDataset& train,
     net.set_training(true);
     const auto perm = rng.permutation(n);
     for (int start = 0; start < n; start += opts.batch_size) {
+      DANCE_PROFILE_SCOPE("evalnet.cost.step");
       const int stop = std::min(n, start + opts.batch_size);
       if (stop - start < 2) continue;  // batch norm needs >= 2 rows
       const std::vector<int> idx(perm.begin() + start, perm.begin() + stop);

@@ -2,8 +2,34 @@
 
 #include <limits>
 #include <stdexcept>
+#include <vector>
+
+#include "runtime/profiler.h"
+#include "runtime/thread_pool.h"
 
 namespace dance::hwgen {
+
+namespace {
+
+/// With ~13.9k configs and a cost-model call per config, a handful of
+/// configs per chunk keeps every lane busy without oversubmitting.
+constexpr long kConfigGrain = 16;
+
+/// Serial arg-min over a dense cost vector; keeps the first index at the
+/// minimum (strict `<`), exactly like the historical serial scan.
+std::size_t argmin_index(const std::vector<double>& costs) {
+  std::size_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    if (costs[i] < best_cost) {
+      best_cost = costs[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 ExhaustiveSearch::ExhaustiveSearch(const HwSearchSpace& space,
                                    const accel::CostModel& model)
@@ -12,17 +38,27 @@ ExhaustiveSearch::ExhaustiveSearch(const HwSearchSpace& space,
 HwSearchResult ExhaustiveSearch::run(std::span<const accel::ConvShape> layers,
                                      const accel::HwCostFn& cost_fn) const {
   if (layers.empty()) throw std::invalid_argument("ExhaustiveSearch: no layers");
-  HwSearchResult best;
-  best.cost = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < space_.size(); ++i) {
-    const accel::AcceleratorConfig config = space_.config_at(i);
-    const accel::CostMetrics m = model_.network_cost(config, layers);
-    const double cost = cost_fn(m);
-    if (cost < best.cost) {
-      best = HwSearchResult{config, m, cost};
-    }
-  }
-  return best;
+  DANCE_PROFILE_SCOPE("hwgen.exhaustive.run");
+  // Each lane fills a disjoint slice of `costs`; the cost model is stateless
+  // and `cost_fn` must be pure (all shipped cost functions are). The arg-min
+  // itself stays serial, so the result is bit-identical to the serial scan
+  // at any thread count.
+  std::vector<double> costs(space_.size());
+  runtime::global_pool().parallel_for(
+      0, static_cast<long>(space_.size()), kConfigGrain,
+      [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) {
+          const auto idx = static_cast<std::size_t>(i);
+          costs[idx] =
+              cost_fn(model_.network_cost(space_.config_at(idx), layers));
+        }
+      });
+  const std::size_t best = argmin_index(costs);
+  HwSearchResult result;
+  result.config = space_.config_at(best);
+  result.metrics = model_.network_cost(result.config, layers);
+  result.cost = costs[best];
+  return result;
 }
 
 HwSearchResult ExhaustiveSearch::run_precomputed(
@@ -44,10 +80,16 @@ HwSearchResult ExhaustiveSearch::run_precomputed(
 
 std::vector<accel::CostMetrics> ExhaustiveSearch::evaluate_all(
     std::span<const accel::ConvShape> layers) const {
+  DANCE_PROFILE_SCOPE("hwgen.exhaustive.evaluate_all");
   std::vector<accel::CostMetrics> out(space_.size());
-  for (std::size_t i = 0; i < space_.size(); ++i) {
-    out[i] = model_.network_cost(space_.config_at(i), layers);
-  }
+  runtime::global_pool().parallel_for(
+      0, static_cast<long>(space_.size()), kConfigGrain,
+      [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) {
+          const auto idx = static_cast<std::size_t>(i);
+          out[idx] = model_.network_cost(space_.config_at(idx), layers);
+        }
+      });
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "nas/trainer.h"
 
 #include "nn/optim.h"
+#include "runtime/profiler.h"
 #include "util/stats.h"
 
 namespace dance::nas {
@@ -10,6 +11,7 @@ using tensor::Variable;
 
 double accuracy_pct(const ForwardFn& forward, const data::Dataset& ds,
                     int batch_size) {
+  DANCE_PROFILE_SCOPE("nas.accuracy");
   const int n = ds.size();
   std::size_t hit = 0;
   for (int start = 0; start < n; start += batch_size) {
@@ -46,6 +48,7 @@ FixedTrainResult train_fixed_net(FixedNet& net, const data::SyntheticTask& task,
     optimizer.set_lr(schedule.lr(epoch));
     const auto perm = rng.permutation(n);
     for (int start = 0; start < n; start += opts.batch_size) {
+      DANCE_PROFILE_SCOPE("nas.fixed.step");
       const int stop = std::min(n, start + opts.batch_size);
       const std::vector<int> idx(perm.begin() + start, perm.begin() + stop);
       auto [bx, by] = task.train.batch(idx);

@@ -1,0 +1,84 @@
+#include "runtime/profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace dance::runtime {
+
+namespace {
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("DANCE_PROFILE");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}()};
+
+std::mutex g_mu;
+// std::map keeps the registry ordered so equal-total ties report stably.
+std::map<std::string, OpStats>& registry() {
+  static std::map<std::string, OpStats> r;
+  return r;
+}
+
+}  // namespace
+
+bool profiling_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_profiling_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void profiler_record(const char* name, double ms) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  OpStats& s = registry()[name];
+  if (s.calls == 0 || ms < s.min_ms) s.min_ms = ms;
+  if (ms > s.max_ms) s.max_ms = ms;
+  ++s.calls;
+  s.total_ms += ms;
+}
+
+std::vector<std::pair<std::string, OpStats>> profiler_snapshot() {
+  std::vector<std::pair<std::string, OpStats>> out;
+  {
+    std::lock_guard<std::mutex> lk(g_mu);
+    out.assign(registry().begin(), registry().end());
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ms > b.second.total_ms;
+  });
+  return out;
+}
+
+void profiler_reset() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  registry().clear();
+}
+
+std::string profiler_report() {
+  const auto snap = profiler_snapshot();
+  if (snap.empty()) return {};
+  std::size_t name_w = 4;  // "op"
+  for (const auto& [name, stats] : snap) name_w = std::max(name_w, name.size());
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-*s %10s %12s %10s %10s %10s\n",
+                static_cast<int>(name_w), "op", "calls", "total_ms", "mean_ms",
+                "min_ms", "max_ms");
+  out += line;
+  out.append(name_w + 58, '-');
+  out += '\n';
+  for (const auto& [name, stats] : snap) {
+    std::snprintf(line, sizeof(line),
+                  "%-*s %10llu %12.3f %10.4f %10.4f %10.4f\n",
+                  static_cast<int>(name_w), name.c_str(),
+                  static_cast<unsigned long long>(stats.calls), stats.total_ms,
+                  stats.mean_ms(), stats.min_ms, stats.max_ms);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dance::runtime

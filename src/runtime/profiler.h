@@ -1,0 +1,77 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dance::runtime {
+
+/// Aggregated wall-clock statistics for one op name.
+struct OpStats {
+  std::uint64_t calls = 0;
+  double total_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+
+  [[nodiscard]] double mean_ms() const {
+    return calls == 0 ? 0.0 : total_ms / static_cast<double>(calls);
+  }
+};
+
+/// Whether ScopedTimer records anything. Compiled in unconditionally but off
+/// by default; flipped at runtime via set_profiling_enabled() or by setting
+/// the DANCE_PROFILE environment variable to a non-"0" value at startup.
+[[nodiscard]] bool profiling_enabled();
+void set_profiling_enabled(bool enabled);
+
+/// Add one timed call to the aggregate for `name`. Thread-safe.
+void profiler_record(const char* name, double ms);
+
+/// All aggregates, sorted by total time descending. Thread-safe snapshot.
+[[nodiscard]] std::vector<std::pair<std::string, OpStats>> profiler_snapshot();
+
+/// Drop all aggregates.
+void profiler_reset();
+
+/// Fixed-width text table of the snapshot (name, calls, total, mean,
+/// min, max), ready to print. Empty string when nothing was recorded.
+[[nodiscard]] std::string profiler_report();
+
+/// RAII wall-clock scope. When profiling is disabled the constructor is a
+/// single relaxed atomic load and the destructor a branch, so scopes can
+/// stay in hot paths permanently.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name) : name_(name) {
+    if (profiling_enabled()) {
+      armed_ = true;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (armed_) {
+      const auto end = std::chrono::steady_clock::now();
+      profiler_record(
+          name_, std::chrono::duration<double, std::milli>(end - start_).count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* name_;
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define DANCE_PROFILE_CONCAT_INNER(a, b) a##b
+#define DANCE_PROFILE_CONCAT(a, b) DANCE_PROFILE_CONCAT_INNER(a, b)
+
+/// Time the enclosing scope under `name` (a string literal).
+#define DANCE_PROFILE_SCOPE(name)                                  \
+  ::dance::runtime::ScopedTimer DANCE_PROFILE_CONCAT(dance_prof_, \
+                                                     __LINE__)(name)
+
+}  // namespace dance::runtime

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "nn/optim.h"
+#include "runtime/profiler.h"
 
 namespace dance::search {
 
@@ -65,6 +66,7 @@ SearchOutcome DanceSearch::run() {
 
       // --- Weight step: single sampled path (binarized training). ---
       {
+        DANCE_PROFILE_SCOPE("dance.weight_step");
         arch::Architecture sampled;
         sampled.reserve(static_cast<std::size_t>(net_config_.num_blocks));
         for (const auto& p : supernet.arch_probs()) {
@@ -82,6 +84,7 @@ SearchOutcome DanceSearch::run() {
 
       // --- Architecture step: Eq. 1 through the evaluator. ---
       if (batch_index % period == 0) {
+        DANCE_PROFILE_SCOPE("dance.arch_step");
         Variable logits;
         Variable enc;
         if (opts_.arch_update == ArchUpdate::kBinarizedTwoPath) {
@@ -125,16 +128,28 @@ SearchOutcome DanceSearch::run() {
   outcome.trained_candidates = 1;  // the defining property of DANCE
 
   // One-time exact hardware generation after the search (§4.3).
-  const hwgen::HwSearchResult hw = cost_table_.optimal(
-      outcome.architecture, make_cost_fn(opts_.cost_kind, opts_.linear_weights));
-  outcome.hardware = hw.config;
-  outcome.metrics = hw.metrics;
+  {
+    DANCE_PROFILE_SCOPE("dance.hwgen");
+    const hwgen::HwSearchResult hw = cost_table_.optimal(
+        outcome.architecture, make_cost_fn(opts_.cost_kind, opts_.linear_weights));
+    outcome.hardware = hw.config;
+    outcome.metrics = hw.metrics;
+  }
 
   // Retrain the derived network from scratch.
-  util::Rng retrain_rng(opts_.seed + 1);
-  nas::FixedNet fixed(net_config_, outcome.architecture, retrain_rng);
-  const nas::FixedTrainResult r = nas::train_fixed_net(fixed, task_, opts_.retrain);
-  outcome.val_accuracy_pct = r.val_accuracy_pct;
+  {
+    DANCE_PROFILE_SCOPE("dance.retrain");
+    util::Rng retrain_rng(opts_.seed + 1);
+    nas::FixedNet fixed(net_config_, outcome.architecture, retrain_rng);
+    const nas::FixedTrainResult r = nas::train_fixed_net(fixed, task_, opts_.retrain);
+    outcome.val_accuracy_pct = r.val_accuracy_pct;
+  }
+
+  // With DANCE_PROFILE=1 (or set_profiling_enabled), show where the search
+  // run's wall-clock went, aggregated per op.
+  if (runtime::profiling_enabled()) {
+    std::printf("[dance] profile:\n%s", runtime::profiler_report().c_str());
+  }
   return outcome;
 }
 

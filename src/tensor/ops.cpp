@@ -4,11 +4,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/profiler.h"
 #include "util/parallel.h"
 
 namespace dance::tensor::ops {
 
 namespace {
+
+/// Grain for loops parallelized over the rows of an [N, D] tensor: target
+/// ~2k elements of work per chunk so narrow matrices don't over-schedule.
+long row_grain(int d) { return std::max(1L, 2048L / std::max(1, d)); }
 
 /// Create the result node of an op. If no parent needs gradients, the
 /// backward closure and parent links are dropped so constant subgraphs cost
@@ -182,6 +187,7 @@ Variable matmul(const Variable& a, const Variable& b) {
   const int m = b.value().cols();
   Tensor out({n, m});
   {
+    DANCE_PROFILE_SCOPE("tensor.matmul");
     const float* pa = a.value().data();
     const float* pb = b.value().data();
     float* po = out.data();
@@ -198,6 +204,7 @@ Variable matmul(const Variable& a, const Variable& b) {
     }, /*grain=*/std::max(1L, 65536L / std::max(1, k * m)));
   }
   return make_result(std::move(out), {a.node(), b.node()}, [n, k, m](Node& self) {
+    DANCE_PROFILE_SCOPE("tensor.matmul.bwd");
     auto& pa = self.parents[0];
     auto& pb = self.parents[1];
     const float* g = self.grad.data();
@@ -264,65 +271,83 @@ Variable sigmoid(const Variable& a) {
 }
 
 namespace {
+// Rows are independent and each row's reduction stays inside one lane, so
+// the result is bit-identical to a serial pass at any thread count.
 void softmax_rows_inplace(Tensor& t) {
   const int n = t.rows();
   const int d = t.cols();
-  for (int r = 0; r < n; ++r) {
-    float mx = t.at(r, 0);
-    for (int c = 1; c < d; ++c) mx = std::max(mx, t.at(r, c));
-    float sum = 0.0F;
-    for (int c = 0; c < d; ++c) {
-      t.at(r, c) = std::exp(t.at(r, c) - mx);
-      sum += t.at(r, c);
+  util::parallel_for(0, n, [&](long lo, long hi) {
+    for (long r = lo; r < hi; ++r) {
+      const int ri = static_cast<int>(r);
+      float mx = t.at(ri, 0);
+      for (int c = 1; c < d; ++c) mx = std::max(mx, t.at(ri, c));
+      float sum = 0.0F;
+      for (int c = 0; c < d; ++c) {
+        t.at(ri, c) = std::exp(t.at(ri, c) - mx);
+        sum += t.at(ri, c);
+      }
+      for (int c = 0; c < d; ++c) t.at(ri, c) /= sum;
     }
-    for (int c = 0; c < d; ++c) t.at(r, c) /= sum;
-  }
+  }, row_grain(d));
 }
 }  // namespace
 
 Variable softmax_rows(const Variable& a) {
   if (a.value().rank() != 2) throw std::invalid_argument("softmax_rows: rank != 2");
+  DANCE_PROFILE_SCOPE("tensor.softmax_rows");
   Tensor out = a.value();
   softmax_rows_inplace(out);
   const int n = out.rows();
   const int d = out.cols();
   return make_result(std::move(out), {a.node()}, [n, d](Node& self) {
+    DANCE_PROFILE_SCOPE("tensor.softmax_rows.bwd");
     auto& pa = self.parents[0];
     if (!wants(pa)) return;
-    for (int r = 0; r < n; ++r) {
-      float dot = 0.0F;
-      for (int c = 0; c < d; ++c) dot += self.grad.at(r, c) * self.value.at(r, c);
-      for (int c = 0; c < d; ++c) {
-        pa->grad.at(r, c) += self.value.at(r, c) * (self.grad.at(r, c) - dot);
+    util::parallel_for(0, n, [&](long lo, long hi) {
+      for (long r = lo; r < hi; ++r) {
+        const int ri = static_cast<int>(r);
+        float dot = 0.0F;
+        for (int c = 0; c < d; ++c) dot += self.grad.at(ri, c) * self.value.at(ri, c);
+        for (int c = 0; c < d; ++c) {
+          pa->grad.at(ri, c) += self.value.at(ri, c) * (self.grad.at(ri, c) - dot);
+        }
       }
-    }
+    }, row_grain(d));
   });
 }
 
 Variable log_softmax_rows(const Variable& a) {
   if (a.value().rank() != 2) throw std::invalid_argument("log_softmax_rows: rank != 2");
+  DANCE_PROFILE_SCOPE("tensor.log_softmax_rows");
   const int n = a.value().rows();
   const int d = a.value().cols();
   Tensor out = a.value();
-  for (int r = 0; r < n; ++r) {
-    float mx = out.at(r, 0);
-    for (int c = 1; c < d; ++c) mx = std::max(mx, out.at(r, c));
-    float sum = 0.0F;
-    for (int c = 0; c < d; ++c) sum += std::exp(out.at(r, c) - mx);
-    const float lse = mx + std::log(sum);
-    for (int c = 0; c < d; ++c) out.at(r, c) -= lse;
-  }
+  util::parallel_for(0, n, [&](long lo, long hi) {
+    for (long r = lo; r < hi; ++r) {
+      const int ri = static_cast<int>(r);
+      float mx = out.at(ri, 0);
+      for (int c = 1; c < d; ++c) mx = std::max(mx, out.at(ri, c));
+      float sum = 0.0F;
+      for (int c = 0; c < d; ++c) sum += std::exp(out.at(ri, c) - mx);
+      const float lse = mx + std::log(sum);
+      for (int c = 0; c < d; ++c) out.at(ri, c) -= lse;
+    }
+  }, row_grain(d));
   return make_result(std::move(out), {a.node()}, [n, d](Node& self) {
+    DANCE_PROFILE_SCOPE("tensor.log_softmax_rows.bwd");
     auto& pa = self.parents[0];
     if (!wants(pa)) return;
-    for (int r = 0; r < n; ++r) {
-      float gsum = 0.0F;
-      for (int c = 0; c < d; ++c) gsum += self.grad.at(r, c);
-      for (int c = 0; c < d; ++c) {
-        pa->grad.at(r, c) +=
-            self.grad.at(r, c) - std::exp(self.value.at(r, c)) * gsum;
+    util::parallel_for(0, n, [&](long lo, long hi) {
+      for (long r = lo; r < hi; ++r) {
+        const int ri = static_cast<int>(r);
+        float gsum = 0.0F;
+        for (int c = 0; c < d; ++c) gsum += self.grad.at(ri, c);
+        for (int c = 0; c < d; ++c) {
+          pa->grad.at(ri, c) +=
+              self.grad.at(ri, c) - std::exp(self.value.at(ri, c)) * gsum;
+        }
       }
-    }
+    }, row_grain(d));
   });
 }
 
@@ -418,6 +443,7 @@ Variable cross_entropy(const Variable& logits, const std::vector<int>& labels) {
       static_cast<std::size_t>(logits.value().rows()) != labels.size()) {
     throw std::invalid_argument("cross_entropy: batch mismatch");
   }
+  DANCE_PROFILE_SCOPE("tensor.cross_entropy");
   const int n = logits.value().rows();
   const int d = logits.value().cols();
   // probs are captured by the backward closure.
@@ -505,26 +531,32 @@ Variable batchnorm(const Variable& x, const Variable& gamma, const Variable& bet
     throw std::invalid_argument("batchnorm: parameter width mismatch");
   }
 
+  DANCE_PROFILE_SCOPE("tensor.batchnorm");
   auto mean = std::make_shared<Tensor>(std::vector<int>{d});
   auto inv_std = std::make_shared<Tensor>(std::vector<int>{d});
+  // Columns are independent: each lane reduces whole columns and writes the
+  // per-column statistics (including the running buffers) disjointly.
   if (training) {
-    for (int c = 0; c < d; ++c) {
-      float m = 0.0F;
-      for (int r = 0; r < n; ++r) m += x.value().at(r, c);
-      m /= static_cast<float>(n);
-      float v = 0.0F;
-      for (int r = 0; r < n; ++r) {
-        const float dd = x.value().at(r, c) - m;
-        v += dd * dd;
+    util::parallel_for(0, d, [&](long lo, long hi) {
+      for (long c = lo; c < hi; ++c) {
+        const int ci = static_cast<int>(c);
+        float m = 0.0F;
+        for (int r = 0; r < n; ++r) m += x.value().at(r, ci);
+        m /= static_cast<float>(n);
+        float v = 0.0F;
+        for (int r = 0; r < n; ++r) {
+          const float dd = x.value().at(r, ci) - m;
+          v += dd * dd;
+        }
+        v /= static_cast<float>(n);
+        (*mean)[static_cast<std::size_t>(c)] = m;
+        (*inv_std)[static_cast<std::size_t>(c)] = 1.0F / std::sqrt(v + eps);
+        running_mean[static_cast<std::size_t>(c)] =
+            (1.0F - momentum) * running_mean[static_cast<std::size_t>(c)] + momentum * m;
+        running_var[static_cast<std::size_t>(c)] =
+            (1.0F - momentum) * running_var[static_cast<std::size_t>(c)] + momentum * v;
       }
-      v /= static_cast<float>(n);
-      (*mean)[static_cast<std::size_t>(c)] = m;
-      (*inv_std)[static_cast<std::size_t>(c)] = 1.0F / std::sqrt(v + eps);
-      running_mean[static_cast<std::size_t>(c)] =
-          (1.0F - momentum) * running_mean[static_cast<std::size_t>(c)] + momentum * m;
-      running_var[static_cast<std::size_t>(c)] =
-          (1.0F - momentum) * running_var[static_cast<std::size_t>(c)] + momentum * v;
-    }
+    }, row_grain(n));
   } else {
     for (int c = 0; c < d; ++c) {
       (*mean)[static_cast<std::size_t>(c)] = running_mean[static_cast<std::size_t>(c)];
@@ -536,49 +568,56 @@ Variable batchnorm(const Variable& x, const Variable& gamma, const Variable& bet
   // Cache x_hat for the backward pass.
   auto x_hat = std::make_shared<Tensor>(std::vector<int>{n, d});
   Tensor out({n, d});
-  for (int r = 0; r < n; ++r) {
-    for (int c = 0; c < d; ++c) {
-      const float xh = (x.value().at(r, c) - (*mean)[static_cast<std::size_t>(c)]) *
-                       (*inv_std)[static_cast<std::size_t>(c)];
-      x_hat->at(r, c) = xh;
-      out.at(r, c) = gamma.value()[static_cast<std::size_t>(c)] * xh +
-                     beta.value()[static_cast<std::size_t>(c)];
+  util::parallel_for(0, n, [&](long lo, long hi) {
+    for (long r = lo; r < hi; ++r) {
+      const int ri = static_cast<int>(r);
+      for (int c = 0; c < d; ++c) {
+        const float xh = (x.value().at(ri, c) - (*mean)[static_cast<std::size_t>(c)]) *
+                         (*inv_std)[static_cast<std::size_t>(c)];
+        x_hat->at(ri, c) = xh;
+        out.at(ri, c) = gamma.value()[static_cast<std::size_t>(c)] * xh +
+                        beta.value()[static_cast<std::size_t>(c)];
+      }
     }
-  }
+  }, row_grain(d));
 
   return make_result(
       std::move(out), {x.node(), gamma.node(), beta.node()},
       [x_hat, inv_std, n, d, training](Node& self) {
+        DANCE_PROFILE_SCOPE("tensor.batchnorm.bwd");
         auto& px = self.parents[0];
         auto& pg = self.parents[1];
         auto& pb = self.parents[2];
-        for (int c = 0; c < d; ++c) {
-          float sum_dy = 0.0F;
-          float sum_dy_xhat = 0.0F;
-          for (int r = 0; r < n; ++r) {
-            sum_dy += self.grad.at(r, c);
-            sum_dy_xhat += self.grad.at(r, c) * x_hat->at(r, c);
-          }
-          if (wants(pg)) pg->grad[static_cast<std::size_t>(c)] += sum_dy_xhat;
-          if (wants(pb)) pb->grad[static_cast<std::size_t>(c)] += sum_dy;
-          if (wants(px)) {
-            const float gamma_c = pg->value[static_cast<std::size_t>(c)];
-            const float istd = (*inv_std)[static_cast<std::size_t>(c)];
-            if (training) {
-              const float inv_n = 1.0F / static_cast<float>(n);
-              for (int r = 0; r < n; ++r) {
-                px->grad.at(r, c) +=
-                    gamma_c * istd *
-                    (self.grad.at(r, c) - inv_n * sum_dy -
-                     inv_n * x_hat->at(r, c) * sum_dy_xhat);
-              }
-            } else {
-              for (int r = 0; r < n; ++r) {
-                px->grad.at(r, c) += gamma_c * istd * self.grad.at(r, c);
+        util::parallel_for(0, d, [&](long lo, long hi) {
+          for (long cc = lo; cc < hi; ++cc) {
+            const int c = static_cast<int>(cc);
+            float sum_dy = 0.0F;
+            float sum_dy_xhat = 0.0F;
+            for (int r = 0; r < n; ++r) {
+              sum_dy += self.grad.at(r, c);
+              sum_dy_xhat += self.grad.at(r, c) * x_hat->at(r, c);
+            }
+            if (wants(pg)) pg->grad[static_cast<std::size_t>(c)] += sum_dy_xhat;
+            if (wants(pb)) pb->grad[static_cast<std::size_t>(c)] += sum_dy;
+            if (wants(px)) {
+              const float gamma_c = pg->value[static_cast<std::size_t>(c)];
+              const float istd = (*inv_std)[static_cast<std::size_t>(c)];
+              if (training) {
+                const float inv_n = 1.0F / static_cast<float>(n);
+                for (int r = 0; r < n; ++r) {
+                  px->grad.at(r, c) +=
+                      gamma_c * istd *
+                      (self.grad.at(r, c) - inv_n * sum_dy -
+                       inv_n * x_hat->at(r, c) * sum_dy_xhat);
+                }
+              } else {
+                for (int r = 0; r < n; ++r) {
+                  px->grad.at(r, c) += gamma_c * istd * self.grad.at(r, c);
+                }
               }
             }
           }
-        }
+        }, row_grain(n));
       });
 }
 
@@ -588,6 +627,7 @@ Variable gumbel_softmax(const Variable& logits, float tau, bool hard,
     throw std::invalid_argument("gumbel_softmax: rank != 2");
   }
   if (tau <= 0.0F) throw std::invalid_argument("gumbel_softmax: tau must be > 0");
+  DANCE_PROFILE_SCOPE("tensor.gumbel_softmax");
   const int n = logits.value().rows();
   const int d = logits.value().cols();
   // y_soft = softmax((logits + g) / tau)

@@ -1,36 +1,21 @@
 #pragma once
 
-#include <algorithm>
-#include <functional>
-#include <thread>
-#include <vector>
+#include "runtime/thread_pool.h"
 
 namespace dance::util {
 
-/// Statically partitioned parallel loop over [begin, end). The callable
-/// receives a sub-range [lo, hi). Falls back to inline execution for small
-/// ranges (< grain) so tiny tensors don't pay thread overhead.
-inline void parallel_for(long begin, long end,
-                         const std::function<void(long, long)>& body,
-                         long grain = 1) {
-  const long n = end - begin;
-  if (n <= 0) return;
-  const unsigned hw = std::max(1U, std::thread::hardware_concurrency());
-  const long max_threads = std::min<long>(hw, (n + grain - 1) / grain);
-  if (max_threads <= 1) {
-    body(begin, end);
-    return;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(max_threads));
-  const long chunk = (n + max_threads - 1) / max_threads;
-  for (long t = 0; t < max_threads; ++t) {
-    const long lo = begin + t * chunk;
-    const long hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    workers.emplace_back([&body, lo, hi] { body(lo, hi); });
-  }
-  for (auto& w : workers) w.join();
+/// Statically partitioned parallel loop over [begin, end) on the process-wide
+/// runtime::ThreadPool. The callable receives a sub-range [lo, hi). Ranges
+/// smaller than `grain` run inline so tiny tensors don't pay scheduling
+/// overhead; larger ranges are cut into at most one chunk per pool lane.
+///
+/// This is a thin template wrapper over runtime::ThreadPool::parallel_for:
+/// no std::function allocation, no per-call thread spawn. See
+/// docs/runtime.md for the determinism contract.
+template <typename Body>
+inline void parallel_for(long begin, long end, const Body& body,
+                         long grain = 1024) {
+  runtime::global_pool().parallel_for(begin, end, grain, body);
 }
 
 }  // namespace dance::util

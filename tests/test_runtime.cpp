@@ -1,0 +1,332 @@
+// Correctness of the dance::runtime execution layer: the persistent thread
+// pool (coverage, reentrancy, concurrent callers, grain handling, serial
+// bit-identity) and the op-level profiler aggregation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "accel/cost_function.h"
+#include "arch/cost_table.h"
+#include "evalnet/dataset.h"
+#include "hwgen/exhaustive.h"
+#include "runtime/profiler.h"
+#include "runtime/thread_pool.h"
+#include "tensor/ops.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace dance;
+
+TEST(ThreadPool, CoversWholeRangeExactlyOnce) {
+  runtime::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(0, 10000, /*grain=*/64, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndReversedRangesAreNoops) {
+  runtime::ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(5, 5, 1, [&](long, long) { called = true; });
+  pool.parallel_for(7, 3, 1, [&](long, long) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SmallRangeRunsInlineAsOneChunk) {
+  runtime::ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  long seen_lo = -1;
+  long seen_hi = -1;
+  pool.parallel_for(0, 100, /*grain=*/1024, [&](long lo, long hi) {
+    ++calls;
+    seen_lo = lo;
+    seen_hi = hi;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_lo, 0);
+  EXPECT_EQ(seen_hi, 100);
+}
+
+TEST(ThreadPool, GrainBoundsChunkCount) {
+  runtime::ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::atomic<long> covered{0};
+  pool.parallel_for(0, 4096, /*grain=*/1024, [&](long lo, long hi) {
+    ++calls;
+    covered += hi - lo;
+  });
+  EXPECT_LE(calls.load(), 4);
+  EXPECT_GE(calls.load(), 1);
+  EXPECT_EQ(covered.load(), 4096);
+}
+
+TEST(ThreadPool, NestedCallsOnSamePoolRunInline) {
+  runtime::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(256);
+  pool.parallel_for(0, 16, /*grain=*/1, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) {
+      // Inner loop on the same pool must execute inline on this lane
+      // rather than deadlock waiting for busy workers.
+      pool.parallel_for(i * 16, (i + 1) * 16, 1, [&](long ilo, long ihi) {
+        for (long j = ilo; j < ihi; ++j) hits[static_cast<std::size_t>(j)]++;
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentCallersFromAnotherPoolAreSerializedSafely) {
+  // Lanes of a driver pool all submit to a second shared pool at once;
+  // jobs must serialize without loss, duplication, or deadlock.
+  runtime::ThreadPool driver(4);
+  runtime::ThreadPool shared(4);
+  constexpr long kCallers = 8;
+  constexpr long kPerCaller = 2048;
+  std::vector<std::atomic<int>> hits(kCallers * kPerCaller);
+  driver.parallel_for(0, kCallers, /*grain=*/1, [&](long lo, long hi) {
+    for (long c = lo; c < hi; ++c) {
+      shared.parallel_for(c * kPerCaller, (c + 1) * kPerCaller, /*grain=*/64,
+                          [&](long ilo, long ihi) {
+                            for (long j = ilo; j < ihi; ++j) {
+                              hits[static_cast<std::size_t>(j)]++;
+                            }
+                          });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, OneLaneAndManyLanesAreBitIdentical) {
+  // A float computation whose per-index result is independent of the
+  // partitioning must agree bitwise between a 1-lane and an N-lane pool.
+  runtime::ThreadPool p1(1);
+  runtime::ThreadPool p4(4);
+  const long n = 5000;
+  std::vector<float> a(static_cast<std::size_t>(n));
+  std::vector<float> b(static_cast<std::size_t>(n));
+  const auto body = [](std::vector<float>& out) {
+    return [&out](long lo, long hi) {
+      for (long i = lo; i < hi; ++i) {
+        const float x = static_cast<float>(i) * 0.37F;
+        out[static_cast<std::size_t>(i)] = std::sin(x) * std::exp(-x * 1e-3F);
+      }
+    };
+  };
+  p1.parallel_for(0, n, 16, body(a));
+  p4.parallel_for(0, n, 16, body(b));
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ThreadPool, SerialGuardForcesInlineExecution) {
+  runtime::ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  {
+    runtime::SerialGuard guard;
+    pool.parallel_for(0, 100000, /*grain=*/1, [&](long, long) { ++calls; });
+  }
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, DefaultNumThreadsHonorsEnvOverride) {
+  ::setenv("DANCE_NUM_THREADS", "3", 1);
+  EXPECT_EQ(runtime::default_num_threads(), 3);
+  ::setenv("DANCE_NUM_THREADS", "0", 1);  // invalid -> hardware default
+  EXPECT_GE(runtime::default_num_threads(), 1);
+  ::unsetenv("DANCE_NUM_THREADS");
+  EXPECT_GE(runtime::default_num_threads(), 1);
+}
+
+TEST(ParallelFor, DefaultGrainKeepsTinyRangesInline) {
+  std::atomic<int> calls{0};
+  util::parallel_for(0, 100, [&](long, long) { ++calls; });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+class RuntimeGroundTruthTest : public ::testing::Test {
+ protected:
+  RuntimeGroundTruthTest()
+      : arch_space_(arch::cifar10_backbone()),
+        hw_space_({.pe_min = 8, .pe_max = 12, .rf_min = 8, .rf_max = 32,
+                   .rf_step = 8}),
+        table_(arch_space_, hw_space_, model_) {}
+
+  arch::ArchSpace arch_space_;
+  hwgen::HwSearchSpace hw_space_;
+  accel::CostModel model_;
+  arch::CostTable table_;
+};
+
+TEST_F(RuntimeGroundTruthTest, ExhaustiveSearchMatchesSerialBitwise) {
+  hwgen::ExhaustiveSearch search(hw_space_, model_);
+  util::Rng rng(42);
+  const auto layers = arch_space_.lower(arch_space_.random(rng));
+  const auto cost_fn = accel::edap_cost();
+
+  hwgen::HwSearchResult serial;
+  std::vector<accel::CostMetrics> serial_all;
+  {
+    runtime::SerialGuard guard;
+    serial = search.run(layers, cost_fn);
+    serial_all = search.evaluate_all(layers);
+  }
+  const hwgen::HwSearchResult parallel = search.run(layers, cost_fn);
+  const auto parallel_all = search.evaluate_all(layers);
+
+  EXPECT_EQ(serial.config.pe_x, parallel.config.pe_x);
+  EXPECT_EQ(serial.config.pe_y, parallel.config.pe_y);
+  EXPECT_EQ(serial.config.rf_size, parallel.config.rf_size);
+  EXPECT_EQ(serial.config.dataflow, parallel.config.dataflow);
+  EXPECT_EQ(serial.cost, parallel.cost);
+  EXPECT_EQ(serial.metrics.latency_ms, parallel.metrics.latency_ms);
+  EXPECT_EQ(serial.metrics.energy_mj, parallel.metrics.energy_mj);
+  EXPECT_EQ(serial.metrics.area_mm2, parallel.metrics.area_mm2);
+
+  ASSERT_EQ(serial_all.size(), parallel_all.size());
+  for (std::size_t i = 0; i < serial_all.size(); ++i) {
+    EXPECT_EQ(serial_all[i].latency_ms, parallel_all[i].latency_ms);
+    EXPECT_EQ(serial_all[i].energy_mj, parallel_all[i].energy_mj);
+    EXPECT_EQ(serial_all[i].area_mm2, parallel_all[i].area_mm2);
+  }
+}
+
+TEST_F(RuntimeGroundTruthTest, CostTableOptimalMatchesSerialBitwise) {
+  util::Rng rng(7);
+  const arch::Architecture a = arch_space_.random(rng);
+  const auto cost_fn = accel::edap_cost();
+  hwgen::HwSearchResult serial;
+  {
+    runtime::SerialGuard guard;
+    serial = table_.optimal(a, cost_fn);
+  }
+  const hwgen::HwSearchResult parallel = table_.optimal(a, cost_fn);
+  EXPECT_EQ(hw_space_.index_of(serial.config), hw_space_.index_of(parallel.config));
+  EXPECT_EQ(serial.cost, parallel.cost);
+  EXPECT_EQ(serial.metrics.latency_ms, parallel.metrics.latency_ms);
+}
+
+TEST_F(RuntimeGroundTruthTest, DatasetGenerationMatchesSerialBitwise) {
+  const auto cost_fn = accel::edap_cost();
+  util::Rng r1(123);
+  util::Rng r2(123);
+  evalnet::EvaluatorDataset serial;
+  {
+    runtime::SerialGuard guard;
+    serial = evalnet::generate_evaluator_dataset(table_, cost_fn, 20, r1);
+  }
+  const auto parallel = evalnet::generate_evaluator_dataset(table_, cost_fn, 20, r2);
+  ASSERT_EQ(serial.samples.size(), parallel.samples.size());
+  for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+    EXPECT_EQ(serial.samples[i].arch_enc, parallel.samples[i].arch_enc);
+    EXPECT_EQ(serial.samples[i].hw_labels, parallel.samples[i].hw_labels);
+    EXPECT_EQ(serial.samples[i].hw_enc, parallel.samples[i].hw_enc);
+    for (int m = 0; m < 3; ++m) {
+      EXPECT_EQ(serial.samples[i].metrics[static_cast<std::size_t>(m)],
+                parallel.samples[i].metrics[static_cast<std::size_t>(m)]);
+    }
+  }
+}
+
+TEST(RuntimeTensorOps, ParallelizedOpsMatchSerialBitwise) {
+  using tensor::Tensor;
+  using tensor::Variable;
+  util::Rng rng(5);
+  Tensor x({64, 48});
+  Tensor y({48, 32});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.normal();
+  for (std::size_t i = 0; i < y.numel(); ++i) y[i] = rng.normal();
+
+  // Exercises the pooled loops end to end: softmax / log-softmax rows,
+  // matmul forward + backward, and batchnorm forward + backward.
+  const auto run_all = [&]() {
+    Variable xv(x, /*requires_grad=*/true);
+    Variable yv(y, /*requires_grad=*/true);
+    Variable gamma(Tensor::full({48}, 1.0F), /*requires_grad=*/true);
+    Variable beta(Tensor::zeros({48}), /*requires_grad=*/true);
+    Tensor running_mean = Tensor::zeros({48});
+    Tensor running_var = Tensor::full({48}, 1.0F);
+    const Variable bn =
+        tensor::ops::batchnorm(xv, gamma, beta, running_mean, running_var,
+                               0.1F, 1e-5F, /*training=*/true);
+    const Variable sm = tensor::ops::softmax_rows(bn);
+    const Variable lsm = tensor::ops::log_softmax_rows(yv);
+    const Variable m = tensor::ops::matmul(sm, lsm);
+    const Variable loss = tensor::ops::mean_all(m);
+    loss.backward();
+    std::vector<float> out;
+    for (std::size_t i = 0; i < m.value().numel(); ++i) out.push_back(m.value()[i]);
+    for (std::size_t i = 0; i < xv.grad().numel(); ++i) out.push_back(xv.grad()[i]);
+    for (std::size_t i = 0; i < yv.grad().numel(); ++i) out.push_back(yv.grad()[i]);
+    for (std::size_t i = 0; i < running_mean.numel(); ++i) out.push_back(running_mean[i]);
+    for (std::size_t i = 0; i < running_var.numel(); ++i) out.push_back(running_var[i]);
+    return out;
+  };
+
+  std::vector<float> serial;
+  {
+    runtime::SerialGuard guard;
+    serial = run_all();
+  }
+  const std::vector<float> parallel = run_all();
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) EXPECT_EQ(serial[i], parallel[i]);
+}
+
+TEST(Profiler, AggregatesCallsAndRespectsEnableFlag) {
+  runtime::profiler_reset();
+  runtime::set_profiling_enabled(false);
+  { DANCE_PROFILE_SCOPE("test.disabled_op"); }
+  EXPECT_TRUE(runtime::profiler_snapshot().empty());
+  EXPECT_TRUE(runtime::profiler_report().empty());
+
+  runtime::set_profiling_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    DANCE_PROFILE_SCOPE("test.op_a");
+  }
+  { DANCE_PROFILE_SCOPE("test.op_b"); }
+  runtime::set_profiling_enabled(false);
+
+  const auto snap = runtime::profiler_snapshot();
+  ASSERT_EQ(snap.size(), 2U);
+  std::uint64_t calls_a = 0;
+  std::uint64_t calls_b = 0;
+  for (const auto& [name, stats] : snap) {
+    EXPECT_GE(stats.total_ms, 0.0);
+    EXPECT_GE(stats.max_ms, stats.min_ms);
+    EXPECT_LE(stats.mean_ms() * static_cast<double>(stats.calls),
+              stats.total_ms + 1e-9);
+    if (name == "test.op_a") calls_a = stats.calls;
+    if (name == "test.op_b") calls_b = stats.calls;
+  }
+  EXPECT_EQ(calls_a, 3U);
+  EXPECT_EQ(calls_b, 1U);
+
+  const std::string report = runtime::profiler_report();
+  EXPECT_NE(report.find("test.op_a"), std::string::npos);
+  EXPECT_NE(report.find("calls"), std::string::npos);
+
+  runtime::profiler_reset();
+  EXPECT_TRUE(runtime::profiler_snapshot().empty());
+}
+
+TEST(Profiler, RecordAccumulatesTotals) {
+  runtime::profiler_reset();
+  runtime::profiler_record("test.manual", 1.5);
+  runtime::profiler_record("test.manual", 2.5);
+  const auto snap = runtime::profiler_snapshot();
+  ASSERT_EQ(snap.size(), 1U);
+  EXPECT_EQ(snap[0].first, "test.manual");
+  EXPECT_EQ(snap[0].second.calls, 2U);
+  EXPECT_DOUBLE_EQ(snap[0].second.total_ms, 4.0);
+  EXPECT_DOUBLE_EQ(snap[0].second.min_ms, 1.5);
+  EXPECT_DOUBLE_EQ(snap[0].second.max_ms, 2.5);
+  EXPECT_DOUBLE_EQ(snap[0].second.mean_ms(), 2.0);
+  runtime::profiler_reset();
+}
+
+}  // namespace
