@@ -9,7 +9,12 @@
 // time: e.g. DANCE_BENCH_SCALE=4 ./bench_table1_evaluator.
 
 #include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <vector>
+
+#include "testing/generators.h"
+#include "util/rng.h"
 
 namespace dance::bench {
 
@@ -26,6 +31,31 @@ inline double scale() {
 inline int scaled(int base) {
   const double v = static_cast<double>(base) * scale();
   return v < 1.0 ? 1 : static_cast<int>(v);
+}
+
+/// Where benches drop their CSV artifacts: $DANCE_BENCH_DATA_DIR, defaulting
+/// to bench/data (created on demand) so repo-root invocations keep outputs
+/// out of the working directory.
+inline std::string data_path(const std::string& filename) {
+  const char* env = std::getenv("DANCE_BENCH_DATA_DIR");
+  const std::filesystem::path dir = env != nullptr ? env : "bench/data";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  return (dir / filename).string();
+}
+
+/// Randomized conv layers for throughput/stress benches, drawn from the same
+/// generator the property suites fuzz the cost backends with (pointwise,
+/// depthwise, grouped and dense shapes; see testing::conv_shape_gen) so
+/// bench workloads and test coverage stay in sync.
+inline std::vector<accel::ConvShape> sample_conv_shapes(int count,
+                                                        std::uint64_t seed) {
+  const auto gen = testing::conv_shape_gen();
+  util::Rng rng(seed);
+  std::vector<accel::ConvShape> shapes;
+  shapes.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) shapes.push_back(gen.sample(rng));
+  return shapes;
 }
 
 }  // namespace dance::bench

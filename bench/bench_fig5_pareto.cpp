@@ -6,8 +6,8 @@
 // baseline's — at matched error DANCE has clearly lower EDAP, and pushing
 // the hyper-parameter toward cost gives DANCE a much better frontier.
 //
-// Points are printed as a table and written to fig5_error_edap.csv for
-// external plotting.
+// Points are printed as a table and written to bench/data/fig5_error_edap.csv
+// (override the directory with DANCE_BENCH_DATA_DIR) for external plotting.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -48,8 +48,8 @@ void run_fig5() {
   const int retrain_epochs = dance::bench::scaled(25);
 
   util::Table t({"Series", "Hyperparam", "Error(%)", "EDAP"});
-  util::CsvWriter csv("fig5_error_edap.csv",
-                      {"series", "hyperparam", "error_pct", "edap"});
+  const std::string csv_path = dance::bench::data_path("fig5_error_edap.csv");
+  util::CsvWriter csv(csv_path, {"series", "hyperparam", "error_pct", "edap"});
 
   // --- Baseline series: FLOPs-penalty sweep (incl. 0 = no penalty). ---
   for (const float fw : {0.0F, 0.1F, 0.25F, 0.6F}) {
@@ -105,7 +105,7 @@ void run_fig5() {
   csv.flush();
 
   std::printf("%s\n", t.to_string().c_str());
-  std::printf("data written to fig5_error_edap.csv\n");
+  std::printf("data written to %s\n", csv_path.c_str());
   std::printf("paper shape: at matched error DANCE's EDAP is far lower; its "
               "frontier dominates the baseline's.\n\n");
 }

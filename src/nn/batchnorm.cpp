@@ -17,4 +17,8 @@ Variable BatchNorm1d::forward(const Variable& x) {
 
 std::vector<Variable> BatchNorm1d::parameters() { return {gamma_, beta_}; }
 
+std::vector<NamedParameter> BatchNorm1d::named_parameters() {
+  return {{"gamma", gamma_}, {"beta", beta_}};
+}
+
 }  // namespace dance::nn

@@ -11,12 +11,13 @@ class BatchNorm1d : public Module {
 
   Variable forward(const Variable& x) override;
   [[nodiscard]] std::vector<Variable> parameters() override;
+  [[nodiscard]] std::vector<NamedParameter> named_parameters() override;
 
   [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
   [[nodiscard]] const Tensor& running_var() const { return running_var_; }
 
   /// Non-trainable state (running statistics) for checkpointing.
-  [[nodiscard]] std::vector<Tensor*> buffers() {
+  [[nodiscard]] std::vector<Tensor*> buffers() override {
     return {&running_mean_, &running_var_};
   }
 

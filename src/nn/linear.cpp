@@ -27,4 +27,10 @@ std::vector<Variable> Linear::parameters() {
   return ps;
 }
 
+std::vector<NamedParameter> Linear::named_parameters() {
+  std::vector<NamedParameter> ps{{"weight", weight_}};
+  if (bias_.defined()) ps.push_back({"bias", bias_});
+  return ps;
+}
+
 }  // namespace dance::nn

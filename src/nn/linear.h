@@ -12,6 +12,7 @@ class Linear : public Module {
 
   Variable forward(const Variable& x) override;
   [[nodiscard]] std::vector<Variable> parameters() override;
+  [[nodiscard]] std::vector<NamedParameter> named_parameters() override;
 
   [[nodiscard]] int in_features() const { return in_; }
   [[nodiscard]] int out_features() const { return out_; }

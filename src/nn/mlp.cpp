@@ -50,6 +50,24 @@ std::vector<Variable> ResidualMlp::parameters() {
   return ps;
 }
 
+std::vector<NamedParameter> ResidualMlp::named_parameters() {
+  std::vector<NamedParameter> ps;
+  const auto append = [&ps](const std::string& prefix, Module& m) {
+    for (auto& [name, p] : m.named_parameters()) {
+      ps.push_back({prefix + "." + name, p});
+    }
+  };
+  append("input", *input_);
+  for (std::size_t i = 0; i < hidden_.size(); ++i) {
+    append("hidden." + std::to_string(i), *hidden_[i]);
+  }
+  append("output", *output_);
+  for (std::size_t i = 0; i < norms_.size(); ++i) {
+    append("norm." + std::to_string(i), *norms_[i]);
+  }
+  return ps;
+}
+
 std::vector<tensor::Tensor*> ResidualMlp::buffers() {
   std::vector<tensor::Tensor*> bs;
   for (auto& n : norms_) {

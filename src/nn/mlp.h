@@ -35,10 +35,11 @@ class ResidualMlp : public Module {
 
   Variable forward(const Variable& x) override;
   [[nodiscard]] std::vector<Variable> parameters() override;
+  [[nodiscard]] std::vector<NamedParameter> named_parameters() override;
   void set_training(bool training) override;
 
   /// Non-trainable state (batch-norm running statistics) for checkpointing.
-  [[nodiscard]] std::vector<Tensor*> buffers();
+  [[nodiscard]] std::vector<Tensor*> buffers() override;
 
   [[nodiscard]] const ResidualMlpConfig& config() const { return config_; }
 

@@ -2,6 +2,15 @@
 
 namespace dance::nn {
 
+std::vector<NamedParameter> Module::named_parameters() {
+  std::vector<NamedParameter> out;
+  std::size_t i = 0;
+  for (auto& p : parameters()) {
+    out.push_back({"param." + std::to_string(i++), p});
+  }
+  return out;
+}
+
 std::size_t Module::parameter_count() {
   std::size_t n = 0;
   for (auto& p : parameters()) n += p.value().numel();

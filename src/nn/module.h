@@ -1,5 +1,7 @@
 #pragma once
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "tensor/ops.h"
@@ -9,6 +11,14 @@ namespace dance::nn {
 
 using tensor::Tensor;
 using tensor::Variable;
+
+/// A parameter with a human-readable path ("hidden.2.weight"), used by
+/// generic tooling (gradcheck, checkpoint diffing) to report *which* tensor
+/// misbehaved. The Variable aliases the module's parameter node.
+struct NamedParameter {
+  std::string name;
+  Variable param;
+};
 
 /// Base class for trainable components. Parameters are exposed as autograd
 /// variables so any optimizer can update them in place.
@@ -21,6 +31,17 @@ class Module {
 
   virtual Variable forward(const Variable& x) = 0;
   [[nodiscard]] virtual std::vector<Variable> parameters() = 0;
+
+  /// Parameters with stable names, in the same order as `parameters()`.
+  /// The default numbers them "param.0", "param.1", ...; subclasses override
+  /// with real names. Generic harnesses (e.g. testing::gradcheck_module)
+  /// rely on the ordering contract.
+  [[nodiscard]] virtual std::vector<NamedParameter> named_parameters();
+
+  /// Non-trainable state mutated by forward (batch-norm running statistics).
+  /// Generic tooling snapshots and restores these to make repeated forwards
+  /// side-effect free; checkpointing saves them alongside parameters.
+  [[nodiscard]] virtual std::vector<Tensor*> buffers() { return {}; }
 
   /// Toggle train/eval behaviour (batch norm statistics).
   virtual void set_training(bool training) { training_ = training; }

@@ -1,0 +1,156 @@
+#include "testing/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "tensor/ops.h"
+
+namespace dance::testing {
+
+namespace {
+
+namespace ops = tensor::ops;
+using tensor::Tensor;
+using tensor::Variable;
+
+/// Weighted scalar reduction of a forward output. The weight tensor breaks
+/// symmetries (a plain sum is constant through softmax-like outputs).
+double loss_value(const Variable& y, const Tensor& w) {
+  double loss = 0.0;
+  for (std::size_t i = 0; i < y.value().numel(); ++i) {
+    loss += static_cast<double>(y.value()[i]) * static_cast<double>(w[i]);
+  }
+  return loss;
+}
+
+struct BufferSnapshot {
+  std::vector<Tensor*> live;
+  std::vector<Tensor> saved;
+
+  explicit BufferSnapshot(nn::Module& m) : live(m.buffers()) {
+    saved.reserve(live.size());
+    for (Tensor* t : live) saved.push_back(*t);
+  }
+  void restore() const {
+    for (std::size_t i = 0; i < live.size(); ++i) *live[i] = saved[i];
+  }
+};
+
+}  // namespace
+
+std::string gradcheck_module(nn::Module& module, const tensor::Tensor& input,
+                             util::Rng& rng, const GradcheckOptions& opts) {
+  BufferSnapshot buffers(module);
+
+  // Break the exactly-at-the-kink structure of freshly initialized modules
+  // (zero biases + a dead upstream ReLU row put pre-activations at exactly 0,
+  // where the loss is genuinely non-differentiable).
+  if (opts.param_jitter > 0.0F) {
+    for (auto& param : module.parameters()) {
+      Tensor& value = param.value();
+      for (std::size_t i = 0; i < value.numel(); ++i) {
+        value[i] += rng.uniform(-opts.param_jitter, opts.param_jitter);
+      }
+    }
+  }
+
+  // Probe the output shape once to build the fixed weighting tensor.
+  buffers.restore();
+  const Variable probe = module.forward(Variable(input));
+  Tensor w = Tensor::randn(probe.value().shape(), rng);
+
+  // Analytic pass: L = sum(forward(x) .* w), backward through the module.
+  module.zero_grad();
+  Variable x(input, /*requires_grad=*/true);
+  buffers.restore();
+  const Variable loss = ops::sum_all(ops::mul(module.forward(x), Variable(w)));
+  loss.backward();
+
+  // Numeric loss as a pure function of the current parameter values and the
+  // mutable working copy of the input.
+  Tensor x_work = input;
+  const auto eval_loss = [&]() {
+    buffers.restore();
+    return loss_value(module.forward(Variable(x_work)), w);
+  };
+
+  std::ostringstream fail;
+  const auto compare = [&](const std::string& name, std::size_t index,
+                           double analytic, double numeric) {
+    const double scale = 1.0 + std::max(std::abs(analytic), std::abs(numeric));
+    if (std::abs(analytic - numeric) <= opts.tol * scale &&
+        std::isfinite(analytic) && std::isfinite(numeric)) {
+      return true;
+    }
+    fail << name << "[" << index << "]: analytic " << analytic << " vs numeric "
+         << numeric << " (eps=" << opts.eps << ", tol=" << opts.tol << ")";
+    return false;
+  };
+
+  // Unperturbed loss, shared by every one-sided difference below.
+  const double base_loss = eval_loss();
+
+  // Central difference of the loss in `scalar`, with a kink guard: the
+  // forward and backward one-sided differences agree to O(eps·f'') on smooth
+  // regions but differ by the slope jump |d⁺ - d⁻| whenever a ReLU kink lies
+  // anywhere inside [scalar-eps, scalar+eps] — no matter where, so this also
+  // catches kinks that sit dead-center where multi-step central differences
+  // all converge to the useless two-sided average. `smooth` is cleared in
+  // that case and the caller skips the coordinate.
+  const auto central_diff = [&](float& scalar, bool& smooth) {
+    const float saved = scalar;
+    scalar = saved + opts.eps;
+    const double up = eval_loss();
+    scalar = saved - opts.eps;
+    const double down = eval_loss();
+    scalar = saved;
+    const double fwd = (up - base_loss) / static_cast<double>(opts.eps);
+    const double bwd = (base_loss - down) / static_cast<double>(opts.eps);
+    const double scale = 1.0 + std::max(std::abs(fwd), std::abs(bwd));
+    smooth = std::abs(fwd - bwd) <= 0.25 * opts.tol * scale;
+    return (up - down) / (2.0 * static_cast<double>(opts.eps));
+  };
+
+  // Parameter gradients, sampled coordinates.
+  for (auto& [name, param] : module.named_parameters()) {
+    if (!param.requires_grad()) continue;
+    Tensor& value = param.value();
+    const Tensor& grad = param.grad();
+    const std::size_t numel = value.numel();
+    if (numel == 0) continue;
+    const int coords =
+        std::min<int>(opts.coords_per_tensor, static_cast<int>(numel));
+    for (int c = 0; c < coords; ++c) {
+      const auto i = static_cast<std::size_t>(
+          rng.randint(0, static_cast<int>(numel) - 1));
+      bool smooth = false;
+      const double numeric = central_diff(value[i], smooth);
+      if (!smooth) continue;
+      const double analytic =
+          grad.numel() == 0 ? 0.0 : static_cast<double>(grad[i]);
+      if (!compare(name, i, analytic, numeric)) return fail.str();
+    }
+  }
+
+  // Input gradient, sampled coordinates (perturbing the working copy).
+  if (opts.check_input && input.numel() != 0) {
+    const int coords = std::min<int>(opts.coords_per_tensor,
+                                     static_cast<int>(input.numel()));
+    for (int c = 0; c < coords; ++c) {
+      const auto i = static_cast<std::size_t>(
+          rng.randint(0, static_cast<int>(input.numel()) - 1));
+      bool smooth = false;
+      const double numeric = central_diff(x_work[i], smooth);
+      if (!smooth) continue;
+      const double analytic = static_cast<double>(x.grad()[i]);
+      if (!compare("input", i, analytic, numeric)) return fail.str();
+    }
+  }
+
+  buffers.restore();
+  module.zero_grad();
+  return {};
+}
+
+}  // namespace dance::testing

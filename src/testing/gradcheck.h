@@ -1,0 +1,94 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace dance::testing {
+
+/// Options of the central-difference gradient check.
+struct GradcheckOptions {
+  float eps = 1e-3F;  ///< central-difference step
+  /// Mixed tolerance: |analytic - numeric| <= tol * (1 + max(|a|, |n|)).
+  double tol = 2e-2;
+  /// Coordinates sampled per tensor (checking every scalar of a big module
+  /// is O(numel) forwards; sampling keeps 100-trial property runs fast while
+  /// different trials cover different coordinates).
+  int coords_per_tensor = 3;
+  bool check_input = true;  ///< also verify dL/dinput
+  /// Uniform noise added to every parameter before the check. Fresh modules
+  /// have exactly-zero biases, which place ReLU pre-activations exactly on
+  /// the kink whenever an upstream unit dies (dL/dθ⁻ ≠ dL/dθ⁺ there, so no
+  /// finite-difference scheme can agree with the one-sided analytic
+  /// gradient). The jitter makes exact kinks a measure-zero event; near-kink
+  /// coordinates are filtered by the two-step smoothness guard instead.
+  float param_jitter = 0.05F;
+};
+
+/// Generic central-difference gradient verification for any `nn::Module`.
+///
+/// Builds the scalar loss L = sum(forward(x) ⊙ W) for a fixed random weight
+/// tensor W (so gradients do not cancel through symmetric reductions),
+/// back-propagates once, then compares dL/dθ for sampled coordinates of
+/// every parameter — and of the input — against (L(θ+eps) - L(θ-eps))/2eps.
+///
+/// Buffers reported by `module.buffers()` are snapshotted and restored
+/// around every forward, so stateful modules (batch norm running statistics)
+/// behave as pure functions during the check.
+///
+/// Coordinates where the loss is locally non-smooth (a ReLU pre-activation
+/// within eps of its kink) are detected by comparing the forward and
+/// backward one-sided differences — they agree to O(eps) on smooth regions
+/// but differ by the slope jump across a kink anywhere in the bracket — and
+/// are skipped rather than failed: no finite-difference estimate is
+/// meaningful there.
+///
+/// Returns an empty string when all sampled coordinates match, else a
+/// description naming the offending parameter (via `named_parameters()`),
+/// the flat coordinate and both gradient values — the signature plugs
+/// directly into testing::check as a property body.
+[[nodiscard]] std::string gradcheck_module(nn::Module& module,
+                                           const tensor::Tensor& input,
+                                           util::Rng& rng,
+                                           const GradcheckOptions& opts = {});
+
+/// Adapter turning a closure + explicit parameter list into a Module, so
+/// composite differentiable systems that are not Modules themselves (the
+/// supernet mixture with its architecture parameters, custom heads) can go
+/// through `gradcheck_module` unchanged.
+class LambdaModule : public nn::Module {
+ public:
+  using Forward = std::function<tensor::Variable(const tensor::Variable&)>;
+
+  LambdaModule(Forward forward, std::vector<nn::NamedParameter> params,
+               std::vector<tensor::Tensor*> buffers = {})
+      : forward_(std::move(forward)),
+        params_(std::move(params)),
+        buffers_(std::move(buffers)) {}
+
+  tensor::Variable forward(const tensor::Variable& x) override {
+    return forward_(x);
+  }
+  [[nodiscard]] std::vector<tensor::Variable> parameters() override {
+    std::vector<tensor::Variable> ps;
+    ps.reserve(params_.size());
+    for (auto& [name, p] : params_) ps.push_back(p);
+    return ps;
+  }
+  [[nodiscard]] std::vector<nn::NamedParameter> named_parameters() override {
+    return params_;
+  }
+  [[nodiscard]] std::vector<tensor::Tensor*> buffers() override {
+    return buffers_;
+  }
+
+ private:
+  Forward forward_;
+  std::vector<nn::NamedParameter> params_;
+  std::vector<tensor::Tensor*> buffers_;
+};
+
+}  // namespace dance::testing

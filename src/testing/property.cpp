@@ -1,0 +1,86 @@
+#include "testing/property.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace dance::testing {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t trial) {
+  return splitmix64(base ^ splitmix64(trial));
+}
+
+PbtConfig PbtConfig::from_env() {
+  PbtConfig config;
+  if (const char* env = std::getenv("DANCE_PBT_SEED")) {
+    // strtoull base 0 accepts decimal and 0x-prefixed hex.
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0') config.seed = v;
+  }
+  if (const char* env = std::getenv("DANCE_PBT_TRIALS")) {
+    const int v = std::atoi(env);
+    if (v > 0) config.trials = v;
+  }
+  return config;
+}
+
+namespace detail {
+
+std::string failure_report(const std::string& name, int trial,
+                           const PbtConfig& config, std::uint64_t trial_seed,
+                           int shrink_steps, const std::string& counterexample,
+                           const std::string& message) {
+  std::ostringstream out;
+  out << "[property] FAIL: " << name << "\n"
+      << "  trial " << trial << " of " << config.trials
+      << " (trial seed " << trial_seed << ")\n"
+      << "  replay: DANCE_PBT_SEED=" << config.seed
+      << " DANCE_PBT_TRIALS=" << config.trials << "\n"
+      << "  counterexample";
+  if (shrink_steps > 0) out << " (after " << shrink_steps << " shrink steps)";
+  out << ": " << counterexample << "\n"
+      << "  failure: " << message;
+  return out.str();
+}
+
+void announce_failure(const std::string& report) {
+  std::fprintf(stderr, "%s\n", report.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace detail
+
+std::vector<long> shrink_toward(long value, long target) {
+  std::vector<long> out;
+  if (value == target) return out;
+  out.push_back(target);
+  // Halve the distance repeatedly; keep candidates distinct and ordered from
+  // most to least aggressive.
+  long delta = (value - target) / 2;
+  while (delta != 0) {
+    const long candidate = target + delta;
+    if (candidate != value && (out.empty() || out.back() != candidate)) {
+      out.push_back(candidate);
+    }
+    delta /= 2;
+  }
+  const long nudge = value > target ? value - 1 : value + 1;
+  if (nudge != target && (out.empty() || out.back() != nudge)) {
+    out.push_back(nudge);
+  }
+  return out;
+}
+
+}  // namespace dance::testing

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dance::testing {
+
+/// Configuration of one property check. The defaults come from the
+/// environment so a failing CI run can be replayed locally without touching
+/// code:
+///   DANCE_PBT_SEED    base seed (decimal or 0x-hex), default 0xDA5CE
+///   DANCE_PBT_TRIALS  randomized trials per property, default 100
+struct PbtConfig {
+  std::uint64_t seed = 0xDA5CE;
+  int trials = 100;
+  /// Upper bound on accepted shrink steps; each step re-runs the property on
+  /// every candidate, so this caps worst-case shrink cost.
+  int max_shrink_steps = 64;
+
+  [[nodiscard]] static PbtConfig from_env();
+};
+
+/// Deterministic per-trial seed stream: splitmix64 over (base seed, trial).
+/// Trial t always sees the same generator input for a fixed base seed, no
+/// matter how many trials run or in which order properties execute.
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t base, std::uint64_t trial);
+
+/// Outcome of a property check; `report` carries the replay seed and the
+/// shrunk counterexample on failure. Intended use:
+///   const auto r = check(...);
+///   EXPECT_TRUE(r.ok) << r.report;
+struct CheckResult {
+  bool ok = true;
+  int trials_run = 0;
+  std::string report;
+};
+
+/// A value generator plus (optionally) a shrinker and a printer.
+///
+/// `sample` draws a random value; `shrink` proposes strictly "smaller"
+/// candidates for a failing value (may be null); `show` renders the value in
+/// the failure report (may be null).
+template <typename T>
+struct Generator {
+  std::function<T(util::Rng&)> sample;
+  std::function<std::vector<T>(const T&)> shrink;
+  std::function<std::string(const T&)> show;
+};
+
+namespace detail {
+/// Formats the failure banner. Kept out of line so the template below stays
+/// header-light.
+[[nodiscard]] std::string failure_report(const std::string& name, int trial,
+                                         const PbtConfig& config,
+                                         std::uint64_t trial_seed,
+                                         int shrink_steps,
+                                         const std::string& counterexample,
+                                         const std::string& message);
+/// Prints the replay line to stderr immediately (so the seed survives even
+/// if a test harness swallows the assertion message).
+void announce_failure(const std::string& report);
+}  // namespace detail
+
+/// Runs `property` against `config.trials` generated values.
+///
+/// The property receives the generated value and a deterministic auxiliary
+/// Rng (for randomized checks inside the property, e.g. sampling coordinates
+/// to finite-difference). The auxiliary Rng is reseeded identically for
+/// every shrink candidate, so the property is a pure function of the value
+/// during shrinking.
+///
+/// The property returns an empty string on success or a failure description;
+/// thrown exceptions count as failures with the exception text.
+template <typename T>
+CheckResult check(const std::string& name, const Generator<T>& gen,
+                  const std::function<std::string(const T&, util::Rng&)>& property,
+                  const PbtConfig& config = PbtConfig::from_env()) {
+  CheckResult result;
+  for (int trial = 0; trial < config.trials; ++trial) {
+    const std::uint64_t trial_seed =
+        mix_seed(config.seed, static_cast<std::uint64_t>(trial));
+    util::Rng gen_rng(trial_seed);
+    T value = gen.sample(gen_rng);
+
+    const auto run = [&](const T& v) -> std::string {
+      // Distinct stream from the generator's, but fixed per trial.
+      util::Rng prop_rng(mix_seed(trial_seed, 0x9e3779b97f4a7c15ULL));
+      try {
+        return property(v, prop_rng);
+      } catch (const std::exception& e) {
+        return std::string("unexpected exception: ") + e.what();
+      }
+    };
+
+    std::string message = run(value);
+    ++result.trials_run;
+    if (message.empty()) continue;
+
+    // Greedy shrink: accept the first failing candidate each round until no
+    // candidate fails or the step budget runs out.
+    int steps = 0;
+    if (gen.shrink) {
+      bool shrunk = true;
+      while (shrunk && steps < config.max_shrink_steps) {
+        shrunk = false;
+        for (const T& candidate : gen.shrink(value)) {
+          const std::string m = run(candidate);
+          if (!m.empty()) {
+            value = candidate;
+            message = m;
+            ++steps;
+            shrunk = true;
+            break;
+          }
+        }
+      }
+    }
+
+    result.ok = false;
+    result.report = detail::failure_report(
+        name, trial, config, trial_seed, steps,
+        gen.show ? gen.show(value) : std::string("<no printer>"), message);
+    detail::announce_failure(result.report);
+    return result;
+  }
+  return result;
+}
+
+// --- Generic shrink helpers -------------------------------------------------
+
+/// Candidates for shrinking an integer toward `target`: the target itself,
+/// then successive halvings of the distance. Empty when already there.
+[[nodiscard]] std::vector<long> shrink_toward(long value, long target);
+
+}  // namespace dance::testing

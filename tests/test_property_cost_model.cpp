@@ -1,0 +1,147 @@
+// Property suite 1: differential testing of the two accelerator-evaluation
+// backends. The analytical CostModel (Timeloop/Accelergy-style) and the
+// SystolicSimulator (ScaleSim-style) are independent implementations of the
+// same machine; DANCE trains its evaluator against the first, so a silent
+// divergence here corrupts every downstream co-search result. Randomized
+// (layer, config) points are cross-checked through testing::cross_check
+// (ideal-roofline lower bounds, exact explain()/layer_cost agreement, ratio
+// tolerance bands, bit-identical shared area model).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testing/generators.h"
+#include "testing/oracles.h"
+#include "testing/property.h"
+
+// gtest's namespace is ::testing; alias ours to avoid ambiguity in TU scope.
+namespace testing_ = dance::testing;
+
+namespace {
+
+using namespace dance;
+
+struct CasePoint {
+  accel::AcceleratorConfig config;
+  accel::ConvShape shape;
+};
+
+testing_::Generator<CasePoint> case_gen() {
+  testing_::Generator<CasePoint> gen;
+  const auto cfg = testing_::accel_config_gen();
+  const auto shp = testing_::conv_shape_gen();
+  gen.sample = [cfg, shp](util::Rng& rng) {
+    return CasePoint{cfg.sample(rng), shp.sample(rng)};
+  };
+  gen.shrink = [cfg, shp](const CasePoint& p) {
+    std::vector<CasePoint> out;
+    for (auto& s : shp.shrink(p.shape)) out.push_back({p.config, s});
+    for (auto& c : cfg.shrink(p.config)) out.push_back({c, p.shape});
+    return out;
+  };
+  gen.show = [cfg, shp](const CasePoint& p) {
+    return cfg.show(p.config) + " x " + shp.show(p.shape);
+  };
+  return gen;
+}
+
+TEST(CostModelDifferential, BackendsAgreeOnRandomizedLayers) {
+  const accel::CostModel model;
+  const accel::SystolicSimulator sim;
+  const auto result = testing_::check<CasePoint>(
+      "cost-model vs systolic-sim cross-check", case_gen(),
+      [&](const CasePoint& p, util::Rng&) {
+        return testing_::cross_check_backends(model, sim, p.config, p.shape);
+      });
+  EXPECT_TRUE(result.ok) << result.report;
+  EXPECT_GE(result.trials_run, 100);
+}
+
+TEST(CostModelDifferential, NetworkCostIsSumOfLayerCosts) {
+  // Internal consistency of the analytical backend: whole-network latency
+  // and energy must be the sum over layers, area workload-independent.
+  const accel::CostModel model;
+  const auto cfg = testing_::accel_config_gen();
+  const auto shp = testing_::conv_shape_gen();
+
+  testing_::Generator<CasePoint> gen = case_gen();
+  const auto result = testing_::check<CasePoint>(
+      "network_cost == sum(layer_cost)", gen,
+      [&](const CasePoint& p, util::Rng& rng) -> std::string {
+        std::vector<accel::ConvShape> layers{p.shape};
+        const int extra = rng.randint(0, 3);
+        for (int i = 0; i < extra; ++i) layers.push_back(shp.sample(rng));
+
+        double cycles = 0.0;
+        double energy = 0.0;
+        for (const auto& l : layers) {
+          const auto lc = model.layer_cost(p.config, l);
+          cycles += lc.cycles;
+          energy += lc.energy_pj;
+        }
+        const auto net = model.network_cost(p.config, layers);
+        const double lat_ms = cycles / (model.tech().clock_ghz * 1e6);
+        const double en_mj = energy * 1e-9;
+        if (std::abs(net.latency_ms - lat_ms) > 1e-9 * (1.0 + lat_ms)) {
+          return "latency is not the sum of layers: " +
+                 std::to_string(net.latency_ms) + " vs " + std::to_string(lat_ms);
+        }
+        if (std::abs(net.energy_mj - en_mj) > 1e-9 * (1.0 + en_mj)) {
+          return "energy is not the sum of layers";
+        }
+        if (net.area_mm2 != model.area_mm2(p.config)) {
+          return "area depends on the workload";
+        }
+        return "";
+      });
+  EXPECT_TRUE(result.ok) << result.report;
+  EXPECT_GE(result.trials_run, 100);
+}
+
+TEST(CostModelDifferential, MorePesNeverSlower) {
+  // Monotonicity oracle: growing the array (same RF, same dataflow) must not
+  // increase the *compute* roofline term — ceil quantization can plateau but
+  // never rise with more parallel lanes.
+  const accel::CostModel model;
+  const auto result = testing_::check<CasePoint>(
+      "compute cycles monotone in PE count", case_gen(),
+      [&](const CasePoint& p, util::Rng&) -> std::string {
+        if (p.config.pe_x >= 24 && p.config.pe_y >= 24) return "";
+        accel::AcceleratorConfig bigger = p.config;
+        if (bigger.pe_x < 24) {
+          bigger.pe_x++;
+        } else {
+          bigger.pe_y++;
+        }
+        const double small_cycles = model.explain(p.config, p.shape).compute_cycles;
+        const double big_cycles = model.explain(bigger, p.shape).compute_cycles;
+        if (big_cycles > small_cycles * (1.0 + 1e-12)) {
+          return "growing the PE array increased compute cycles: " +
+                 std::to_string(small_cycles) + " -> " +
+                 std::to_string(big_cycles) + " at " + bigger.to_string();
+        }
+        return "";
+      });
+  EXPECT_TRUE(result.ok) << result.report;
+  EXPECT_GE(result.trials_run, 100);
+}
+
+TEST(CostModelDifferential, DeterministicUnderFixedSeed) {
+  // The whole suite replays bit-identically for a fixed base seed: same
+  // generated cases, same verdicts, same trial count.
+  testing_::PbtConfig config;
+  config.seed = 1234;
+  config.trials = 25;
+  const auto gen = case_gen();
+  std::vector<std::string> first;
+  std::vector<std::string> second;
+  for (auto* log : {&first, &second}) {
+    for (int t = 0; t < config.trials; ++t) {
+      util::Rng rng(testing_::mix_seed(config.seed, static_cast<std::uint64_t>(t)));
+      log->push_back(gen.show(gen.sample(rng)));
+    }
+  }
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Property suite 3: differential fuzz of the runtime thread pool against
+// serial execution. docs/runtime.md promises bit-identical results to a
+// serial run for bodies that write disjoint per-index outputs, at *any*
+// thread count and grain — this suite hammers that contract with randomized
+// workloads, lane counts, grains and three float-arithmetic bodies whose
+// results would change if the pool ever regrouped, dropped or duplicated
+// indices.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "testing/generators.h"
+#include "testing/property.h"
+#include "util/parallel.h"
+
+namespace testing_ = dance::testing;
+
+namespace {
+
+using namespace dance;
+using testing_::PoolWorkload;
+
+/// Per-index float bodies. Each index's value chains enough non-associative
+/// float operations that any cross-index regrouping, double execution or
+/// skipped index changes the bits.
+void run_body(int body, long lo, long hi, std::vector<float>& out) {
+  switch (body) {
+    case 0:
+      for (long i = lo; i < hi; ++i) {
+        const float x = static_cast<float>(i) * 0.37F;
+        out[static_cast<std::size_t>(i)] = std::sin(x) * std::exp(-x * 1e-3F);
+      }
+      break;
+    case 1:
+      // In-body accumulation: a chained sum over a per-index window, kept
+      // inside one body invocation as the contract requires.
+      for (long i = lo; i < hi; ++i) {
+        float acc = 0.0F;
+        for (long j = 0; j <= i % 7; ++j) {
+          acc += 1.0F / (static_cast<float>(i + j) + 1.0F);
+        }
+        out[static_cast<std::size_t>(i)] = acc;
+      }
+      break;
+    default:
+      // Mixed transcendental chain with sign flips.
+      for (long i = lo; i < hi; ++i) {
+        const float x = static_cast<float>(i % 113) - 56.0F;
+        out[static_cast<std::size_t>(i)] =
+            std::tanh(x * 0.1F) + std::sqrt(std::abs(x)) * 0.01F;
+      }
+      break;
+  }
+}
+
+constexpr int kNumBodies = 3;
+
+/// Bitwise comparison (covers -0.0 and any NaN payloads).
+bool bit_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+TEST(PoolBitIdentity, PooledMatchesSerialAtAnyThreadCountAndGrain) {
+  const auto result = testing_::check<PoolWorkload>(
+      "pool vs serial bit-identity", testing_::pool_workload_gen(kNumBodies),
+      [](const PoolWorkload& w, util::Rng&) -> std::string {
+        std::vector<float> serial(static_cast<std::size_t>(w.n));
+        run_body(w.body, 0, w.n, serial);
+
+        runtime::ThreadPool pool(w.threads);
+        std::vector<float> pooled(static_cast<std::size_t>(w.n));
+        pool.parallel_for(0, w.n, w.grain, [&](long lo, long hi) {
+          run_body(w.body, lo, hi, pooled);
+        });
+        if (!bit_equal(serial, pooled)) {
+          return "pooled result diverged from the serial loop";
+        }
+
+        // The same pool under SerialGuard must also match bitwise.
+        std::vector<float> guarded(static_cast<std::size_t>(w.n));
+        {
+          runtime::SerialGuard guard;
+          pool.parallel_for(0, w.n, w.grain, [&](long lo, long hi) {
+            run_body(w.body, lo, hi, guarded);
+          });
+        }
+        if (!bit_equal(serial, guarded)) {
+          return "SerialGuard result diverged from the serial loop";
+        }
+        return "";
+      });
+  EXPECT_TRUE(result.ok) << result.report;
+  EXPECT_GE(result.trials_run, 100);
+}
+
+TEST(PoolBitIdentity, ThreadCountsAgreePairwise) {
+  // The determinism contract is thread-count independent: two pools with
+  // *different* lane counts must produce bit-identical outputs, not just
+  // pool-vs-serial.
+  const auto result = testing_::check<PoolWorkload>(
+      "pairwise thread-count bit-identity",
+      testing_::pool_workload_gen(kNumBodies),
+      [](const PoolWorkload& w, util::Rng& rng) -> std::string {
+        const int other_threads = rng.randint(1, 8);
+        runtime::ThreadPool a(w.threads);
+        runtime::ThreadPool b(other_threads);
+        std::vector<float> out_a(static_cast<std::size_t>(w.n));
+        std::vector<float> out_b(static_cast<std::size_t>(w.n));
+        a.parallel_for(0, w.n, w.grain, [&](long lo, long hi) {
+          run_body(w.body, lo, hi, out_a);
+        });
+        b.parallel_for(0, w.n, w.grain, [&](long lo, long hi) {
+          run_body(w.body, lo, hi, out_b);
+        });
+        if (!bit_equal(out_a, out_b)) {
+          return "pools with " + std::to_string(w.threads) + " and " +
+                 std::to_string(other_threads) + " lanes disagree";
+        }
+        return "";
+      });
+  EXPECT_TRUE(result.ok) << result.report;
+  EXPECT_GE(result.trials_run, 100);
+}
+
+TEST(PoolBitIdentity, EveryIndexVisitedExactlyOnce) {
+  // Coverage fuzz: count per-index visits under randomized (n, grain, lanes).
+  const auto result = testing_::check<PoolWorkload>(
+      "exactly-once coverage", testing_::pool_workload_gen(kNumBodies),
+      [](const PoolWorkload& w, util::Rng&) -> std::string {
+        runtime::ThreadPool pool(w.threads);
+        std::vector<std::atomic<int>> hits(static_cast<std::size_t>(w.n));
+        pool.parallel_for(0, w.n, w.grain, [&](long lo, long hi) {
+          for (long i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+        });
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+          if (hits[i].load() != 1) {
+            return "index " + std::to_string(i) + " visited " +
+                   std::to_string(hits[i].load()) + " times";
+          }
+        }
+        return "";
+      });
+  EXPECT_TRUE(result.ok) << result.report;
+  EXPECT_GE(result.trials_run, 100);
+}
+
+TEST(PoolBitIdentity, GlobalParallelForMatchesSerialGuard) {
+  // util::parallel_for on the global pool — the entry point the tensor ops
+  // actually use — against the SerialGuard escape hatch.
+  const auto result = testing_::check<PoolWorkload>(
+      "util::parallel_for vs SerialGuard",
+      testing_::pool_workload_gen(kNumBodies),
+      [](const PoolWorkload& w, util::Rng&) -> std::string {
+        std::vector<float> pooled(static_cast<std::size_t>(w.n));
+        util::parallel_for(0, w.n, [&](long lo, long hi) {
+          run_body(w.body, lo, hi, pooled);
+        }, w.grain);
+
+        std::vector<float> serial(static_cast<std::size_t>(w.n));
+        {
+          runtime::SerialGuard guard;
+          util::parallel_for(0, w.n, [&](long lo, long hi) {
+            run_body(w.body, lo, hi, serial);
+          }, w.grain);
+        }
+        if (!bit_equal(serial, pooled)) {
+          return "global pool diverged from SerialGuard execution";
+        }
+        return "";
+      });
+  EXPECT_TRUE(result.ok) << result.report;
+  EXPECT_GE(result.trials_run, 100);
+}
+
+}  // namespace

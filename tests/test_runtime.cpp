@@ -314,6 +314,78 @@ TEST(Profiler, AggregatesCallsAndRespectsEnableFlag) {
   EXPECT_TRUE(runtime::profiler_snapshot().empty());
 }
 
+TEST(Profiler, AggregatesExactlyUnderPooledConcurrency) {
+  // Torn aggregation under the pool is the profiler's main hazard: every
+  // worker lane records into the same aggregates. One profiled scope per
+  // index must produce an exact call count and internally consistent
+  // statistics at any thread count. (This test runs under the TSan CI job,
+  // which turns any unlocked aggregate update into a hard failure.)
+  const bool was_enabled = runtime::profiling_enabled();
+  runtime::profiler_reset();
+  runtime::set_profiling_enabled(true);
+
+  constexpr long kIndices = 20000;
+  constexpr int kRounds = 3;
+  runtime::ThreadPool pool(8);
+  std::atomic<long> executed{0};
+  for (int round = 0; round < kRounds; ++round) {
+    pool.parallel_for(0, kIndices, /*grain=*/64, [&](long lo, long hi) {
+      for (long i = lo; i < hi; ++i) {
+        DANCE_PROFILE_SCOPE("test.pooled_scope");
+        executed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  runtime::set_profiling_enabled(was_enabled);
+  EXPECT_EQ(executed.load(), kRounds * kIndices);
+
+  bool found = false;
+  for (const auto& [name, stats] : runtime::profiler_snapshot()) {
+    if (name != "test.pooled_scope") continue;
+    found = true;
+    EXPECT_EQ(stats.calls, static_cast<std::uint64_t>(kRounds * kIndices));
+    // Internal consistency: no partially-written accumulator survives.
+    EXPECT_GE(stats.min_ms, 0.0);
+    EXPECT_GE(stats.max_ms, stats.min_ms);
+    EXPECT_GE(stats.total_ms, stats.max_ms);
+    EXPECT_LE(stats.total_ms,
+              stats.max_ms * static_cast<double>(stats.calls) + 1e-9);
+  }
+  EXPECT_TRUE(found);
+  runtime::profiler_reset();
+}
+
+TEST(Profiler, ConcurrentDistinctNamesStaySeparate) {
+  // Two op names recorded from interleaved pooled bodies must not bleed
+  // counts into each other.
+  const bool was_enabled = runtime::profiling_enabled();
+  runtime::profiler_reset();
+  runtime::set_profiling_enabled(true);
+
+  runtime::ThreadPool pool(6);
+  pool.parallel_for(0, 6000, /*grain=*/16, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) {
+      if (i % 2 == 0) {
+        DANCE_PROFILE_SCOPE("test.even_scope");
+      } else {
+        DANCE_PROFILE_SCOPE("test.odd_scope");
+      }
+    }
+  });
+
+  runtime::set_profiling_enabled(was_enabled);
+  std::uint64_t even = 0;
+  std::uint64_t odd = 0;
+  for (const auto& [name, stats] : runtime::profiler_snapshot()) {
+    if (name == "test.even_scope") even = stats.calls;
+    if (name == "test.odd_scope") odd = stats.calls;
+  }
+  EXPECT_EQ(even, 3000U);
+  EXPECT_EQ(odd, 3000U);
+  runtime::profiler_reset();
+}
+
 TEST(Profiler, RecordAccumulatesTotals) {
   runtime::profiler_reset();
   runtime::profiler_record("test.manual", 1.5);

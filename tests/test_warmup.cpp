@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "search/warmup.h"
+#include "testing/property.h"
+#include "util/rng.h"
+
+namespace {
+
+using dance::search::LambdaWarmup;
+
+TEST(LambdaWarmup, HoldsInitialValueThroughWarmup) {
+  const LambdaWarmup w(0.01F, 0.8F, /*warmup_epochs=*/5, /*ramp_epochs=*/4);
+  for (int e = 0; e < 5; ++e) {
+    EXPECT_FLOAT_EQ(w.value(e), 0.01F) << "epoch " << e;
+  }
+}
+
+TEST(LambdaWarmup, RampsLinearlyBetweenWarmupAndTarget) {
+  const LambdaWarmup w(0.0F, 1.0F, /*warmup_epochs=*/2, /*ramp_epochs=*/4);
+  EXPECT_FLOAT_EQ(w.value(2), 0.0F);
+  EXPECT_FLOAT_EQ(w.value(3), 0.25F);
+  EXPECT_FLOAT_EQ(w.value(4), 0.5F);
+  EXPECT_FLOAT_EQ(w.value(5), 0.75F);
+  EXPECT_FLOAT_EQ(w.value(6), 1.0F);
+}
+
+TEST(LambdaWarmup, ClampsAtTargetForever) {
+  const LambdaWarmup w(0.1F, 0.6F, 3, 2);
+  for (int e = 5; e < 100; e += 7) {
+    EXPECT_FLOAT_EQ(w.value(e), 0.6F) << "epoch " << e;
+  }
+}
+
+TEST(LambdaWarmup, ZeroRampEpochsJumpsStraightToTarget) {
+  // ramp_epochs is clamped to >= 1, so the first post-warmup epoch is the
+  // last initial-valued one and the next is the target.
+  const LambdaWarmup w(0.2F, 0.9F, 4, 0);
+  EXPECT_FLOAT_EQ(w.value(3), 0.2F);
+  EXPECT_FLOAT_EQ(w.value(4), 0.2F);
+  EXPECT_FLOAT_EQ(w.value(5), 0.9F);
+}
+
+TEST(LambdaWarmup, MonotoneForRandomSchedules) {
+  // Property: for target >= initial the schedule never decreases (and never
+  // leaves [initial, target]); mirrored for target < initial. A collapse of
+  // lambda2 mid-search (§3.4) would show up as a violation here.
+  struct Schedule {
+    float initial, target;
+    int warmup, ramp;
+    std::string show() const {
+      return "Schedule(init=" + std::to_string(initial) +
+             " target=" + std::to_string(target) +
+             " warmup=" + std::to_string(warmup) +
+             " ramp=" + std::to_string(ramp) + ")";
+    }
+  };
+  dance::testing::Generator<Schedule> gen;
+  gen.sample = [](dance::util::Rng& rng) {
+    return Schedule{rng.uniform(0.0F, 2.0F), rng.uniform(0.0F, 2.0F),
+                    rng.randint(0, 10), rng.randint(0, 8)};
+  };
+  gen.show = [](const Schedule& s) { return s.show(); };
+
+  const auto result = dance::testing::check<Schedule>(
+      "lambda warmup monotonicity", gen,
+      [](const Schedule& s, dance::util::Rng&) -> std::string {
+        const LambdaWarmup w(s.initial, s.target, s.warmup, s.ramp);
+        const float lo = std::min(s.initial, s.target);
+        const float hi = std::max(s.initial, s.target);
+        float prev = w.value(0);
+        for (int e = 0; e <= s.warmup + s.ramp + 5; ++e) {
+          const float v = w.value(e);
+          if (v < lo - 1e-6F || v > hi + 1e-6F) {
+            return "epoch " + std::to_string(e) + " value " +
+                   std::to_string(v) + " escapes [initial, target]";
+          }
+          const bool ok = s.target >= s.initial ? v >= prev - 1e-6F
+                                                : v <= prev + 1e-6F;
+          if (!ok) {
+            return "epoch " + std::to_string(e) + ": " + std::to_string(prev) +
+                   " -> " + std::to_string(v) + " breaks monotonicity";
+          }
+          prev = v;
+        }
+        return "";
+      });
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+}  // namespace
