@@ -1,0 +1,270 @@
+// dance::serve throughput: what does the service layer buy over calling the
+// evaluator directly?
+//
+// Replays a 10k-request trace (scaled by DANCE_BENCH_SCALE) with a unique-key
+// pool of N/8 — i.e. ~87% of requests repeat an earlier key, the regime a
+// NAS search loop produces when candidate architectures recur across
+// iterations. Three ways to answer the same trace:
+//   serial          one Evaluator::forward_deterministic per request
+//   batched         Evaluator::forward_batch in max_batch-sized chunks
+//   cached+batched  Service::query_many in 512-request arrival windows
+//                   (sharded LRU across windows + within-call dedup +
+//                   batched backend)
+// Expected shape: batching amortizes per-call overhead for a low-single-digit
+// multiple; the cache turns the ~75% repeats into lookups for >=5x combined.
+// The serial and batched answers are checked bit-identical first — the
+// deterministic-inference contract that makes the comparison meaningful.
+//
+// Prints an ASCII table, appends bench/data/serve_throughput.csv, and runs
+// google-benchmark micros for the per-query primitives.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "evalnet/evaluator.h"
+#include "serve/backend.h"
+#include "serve/service.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dance;
+
+struct Env {
+  arch::ArchSpace arch_space{arch::cifar10_backbone()};
+  hwgen::HwSearchSpace hw_space;
+  std::unique_ptr<evalnet::Evaluator> evaluator;
+  std::vector<std::vector<float>> unique_keys;
+  std::vector<serve::Request> trace;  ///< the replayed request sequence
+
+  Env() {
+    util::Rng rng(21);
+    evaluator = std::make_unique<evalnet::Evaluator>(
+        arch_space.encoding_width(), hw_space, rng);
+    evaluator->set_frozen(true);
+    evaluator->set_training(false);
+
+    const int n = bench::scaled(10000);
+    const int unique = std::max(1, n / 8);  // ~87% repeated keys
+    unique_keys.reserve(static_cast<std::size_t>(unique));
+    for (int k = 0; k < unique; ++k) {
+      unique_keys.push_back(arch_space.encode(arch_space.random(rng)));
+    }
+    trace.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      trace.push_back(serve::Request{
+          unique_keys[static_cast<std::size_t>(rng.randint(0, unique - 1))]});
+    }
+  }
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+constexpr int kChunk = 64;  ///< batched-mode slice, also the service max_batch
+
+/// Serial replay: the naive client, one single-row forward per request.
+/// Returns the flat [N, 3] metrics for the bit-identity check.
+std::vector<float> replay_serial(double& seconds) {
+  Env& e = env();
+  std::vector<float> metrics;
+  metrics.reserve(e.trace.size() * 3);
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& req : e.trace) {
+    tensor::Variable row(tensor::Tensor::from(
+        {1, static_cast<int>(req.encoding.size())}, req.encoding));
+    const auto out = e.evaluator->forward_deterministic(row);
+    const float* m = out.metrics.value().data();
+    metrics.insert(metrics.end(), m, m + 3);
+  }
+  seconds = seconds_since(start);
+  return metrics;
+}
+
+/// Batched replay: forward_batch over kChunk-row slices, no cache.
+std::vector<float> replay_batched(double& seconds) {
+  Env& e = env();
+  std::vector<float> metrics;
+  metrics.reserve(e.trace.size() * 3);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t at = 0; at < e.trace.size(); at += kChunk) {
+    const std::size_t hi = std::min(at + kChunk, e.trace.size());
+    std::vector<std::vector<float>> rows;
+    rows.reserve(hi - at);
+    for (std::size_t i = at; i < hi; ++i) rows.push_back(e.trace[i].encoding);
+    const auto out = e.evaluator->forward_batch(rows);
+    const float* m = out.metrics.value().data();
+    metrics.insert(metrics.end(), m, m + 3 * (hi - at));
+  }
+  seconds = seconds_since(start);
+  return metrics;
+}
+
+int main_comparison() {
+  Env& e = env();
+  const auto n = static_cast<double>(e.trace.size());
+
+  double serial_s = 0.0;
+  const auto serial_metrics = replay_serial(serial_s);
+  double batched_s = 0.0;
+  const auto batched_metrics = replay_batched(batched_s);
+
+  const bool identical =
+      serial_metrics.size() == batched_metrics.size() &&
+      std::memcmp(serial_metrics.data(), batched_metrics.data(),
+                  serial_metrics.size() * sizeof(float)) == 0;
+  std::printf("batched vs serial bit-identity: %s\n",
+              identical ? "OK (bitwise equal)" : "FAILED — outputs diverge");
+
+  serve::SurrogateBackend backend(*e.evaluator);
+  serve::Service::Options opts;
+  opts.batch.max_batch = kChunk;
+  serve::Service service(backend, opts);
+  // Requests arrive in windows (as a search loop would deliver them); the
+  // cache carries answers across windows, dedup collapses repeats within one.
+  constexpr std::size_t kWindow = 512;
+  std::vector<serve::Response> served;
+  served.reserve(e.trace.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t at = 0; at < e.trace.size(); at += kWindow) {
+    const std::size_t hi = std::min(at + kWindow, e.trace.size());
+    auto window = service.query_many(
+        std::span<const serve::Request>(e.trace.data() + at, hi - at));
+    served.insert(served.end(), window.begin(), window.end());
+  }
+  const double service_s = seconds_since(start);
+  const auto stats = service.stats();
+
+  // Served answers must also match the serial ground truth bitwise.
+  bool service_identical = served.size() * 3 == serial_metrics.size();
+  for (std::size_t i = 0; service_identical && i < served.size(); ++i) {
+    const double lat = served[i].metrics.latency_ms;
+    service_identical =
+        static_cast<float>(lat) == serial_metrics[3 * i];
+  }
+  std::printf("cached+batched vs serial agreement: %s\n\n",
+              service_identical ? "OK" : "FAILED — served answers diverge");
+
+  util::Table table({"mode", "requests", "seconds", "QPS", "speedup", "hit rate"});
+  const double serial_qps = n / serial_s;
+  table.add_row({"serial forward", std::to_string(e.trace.size()),
+                 util::Table::fmt(serial_s, 3), util::Table::fmt(serial_qps, 0),
+                 "1.00", "-"});
+  table.add_row({"batched forward", std::to_string(e.trace.size()),
+                 util::Table::fmt(batched_s, 3),
+                 util::Table::fmt(n / batched_s, 0),
+                 util::Table::fmt(serial_s / batched_s, 2), "-"});
+  table.add_row({"cached+batched", std::to_string(e.trace.size()),
+                 util::Table::fmt(service_s, 3),
+                 util::Table::fmt(n / service_s, 0),
+                 util::Table::fmt(serial_s / service_s, 2),
+                 util::Table::fmt(100.0 * stats.cache.hit_rate(), 1) + "%"});
+  std::printf("%s\n", table.to_string().c_str());
+  std::fputs(service.stats_report().c_str(), stdout);
+
+  const double combined_speedup = serial_s / service_s;
+  std::printf("\ncached+batched speedup over naive serial: %.1fx %s\n",
+              combined_speedup, combined_speedup >= 5.0 ? "(>= 5x target met)"
+                                                        : "(below 5x target)");
+
+  util::CsvWriter csv(bench::data_path("serve_throughput.csv"),
+                      {"mode", "requests", "unique_keys", "seconds", "qps",
+                       "speedup_vs_serial", "cache_hit_rate"});
+  const std::string nreq = std::to_string(e.trace.size());
+  const std::string nuniq = std::to_string(e.unique_keys.size());
+  csv.add_row({"serial", nreq, nuniq, util::Table::fmt(serial_s, 4),
+               util::Table::fmt(serial_qps, 1), "1.0", "0"});
+  csv.add_row({"batched", nreq, nuniq, util::Table::fmt(batched_s, 4),
+               util::Table::fmt(n / batched_s, 1),
+               util::Table::fmt(serial_s / batched_s, 2), "0"});
+  csv.add_row({"cached_batched", nreq, nuniq, util::Table::fmt(service_s, 4),
+               util::Table::fmt(n / service_s, 1),
+               util::Table::fmt(combined_speedup, 2),
+               util::Table::fmt(stats.cache.hit_rate(), 3)});
+  csv.flush();
+  std::printf("wrote %s\n\n", bench::data_path("serve_throughput.csv").c_str());
+  return (identical && service_identical) ? 0 : 1;
+}
+
+// --- google-benchmark micros for the per-query primitives -------------------
+
+void BM_SerialForwardDeterministic(benchmark::State& state) {
+  Env& e = env();
+  tensor::Variable row(tensor::Tensor::from(
+      {1, static_cast<int>(e.unique_keys[0].size())}, e.unique_keys[0]));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.evaluator->forward_deterministic(row));
+  }
+}
+BENCHMARK(BM_SerialForwardDeterministic)->Unit(benchmark::kMicrosecond);
+
+void BM_ForwardBatch64(benchmark::State& state) {
+  Env& e = env();
+  std::vector<std::vector<float>> rows;
+  for (int i = 0; i < kChunk; ++i) {
+    rows.push_back(e.unique_keys[static_cast<std::size_t>(i) %
+                                 e.unique_keys.size()]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.evaluator->forward_batch(rows));
+  }
+  state.SetItemsProcessed(state.iterations() * kChunk);
+}
+BENCHMARK(BM_ForwardBatch64)->Unit(benchmark::kMicrosecond);
+
+void BM_ServiceQueryCacheHit(benchmark::State& state) {
+  Env& e = env();
+  static serve::SurrogateBackend backend(*e.evaluator);
+  static serve::Service service(backend, [] {
+    serve::Service::Options o;
+    o.batch.max_batch = 1;  // inline: isolate the cache-hit path
+    return o;
+  }());
+  const serve::Request req{e.unique_keys[0]};
+  (void)service.query(req);  // warm the entry
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.query(req));
+  }
+}
+BENCHMARK(BM_ServiceQueryCacheHit)->Unit(benchmark::kMicrosecond);
+
+void BM_CacheGetHit(benchmark::State& state) {
+  Env& e = env();
+  serve::ShardedLruCache cache(1024, 8);
+  const auto key = serve::canonical_key(e.unique_keys[0]);
+  cache.put(key, serve::Response{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(key));
+  }
+}
+BENCHMARK(BM_CacheGetHit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== dance::serve throughput: serial vs batched vs cached+batched "
+              "==\n");
+  std::printf("trace: %d requests over %d unique keys (~87%% repeats), "
+              "chunk/max_batch %d, window 512.\n\n",
+              dance::bench::scaled(10000),
+              std::max(1, dance::bench::scaled(10000) / 8), kChunk);
+  const int rc = main_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rc;
+}

@@ -1,0 +1,219 @@
+// JSON-lines front-end for the dance::serve cost-query service.
+//
+// Reads one request per line from stdin, answers one JSON object per line on
+// stdout, and prints the service stats report to stderr at EOF. Request
+// forms (whitespace-insensitive, keys in any order):
+//   {"id": 1, "arch": [0, 3, 6, 0, 1, 2, 4, 5, 0]}   per-slot op indices
+//   {"id": 2, "encoding": [1.0, 0.0, ...]}           raw evaluator encoding
+// Response:
+//   {"id": 1, "latency_ms": ..., "energy_mj": ..., "area_mm2": ...,
+//    "pe_x": 16, "pe_y": 16, "rf_size": 32, "dataflow": "RS",
+//    "cached": false}
+// Malformed lines get {"id": <id or -1>, "error": "..."} and processing
+// continues.
+//
+// Flags:
+//   --backend=exact|surrogate  ground-truth LUT (default) or the evaluator
+//   --small                    tiny hardware space (fast startup; CI smoke)
+//   --hwgen-ckpt=PATH          load HwGenNet weights  (surrogate only)
+//   --cost-ckpt=PATH           load CostNet weights   (surrogate only)
+//
+// Examples:
+//   printf '{"id":1,"arch":[0,1,2,3,4,5,6,0,1]}\n' |
+//     ./build/examples/serve_jsonl --backend=exact --small
+//   ./build/examples/serve_jsonl --backend=surrogate
+//     --hwgen-ckpt=evaluator_hwgen.ckpt --cost-ckpt=evaluator_cost.ckpt < q.jsonl
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/cost_function.h"
+#include "arch/cost_table.h"
+#include "evalnet/evaluator.h"
+#include "serve/backend.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace dance;
+
+// --- Minimal JSON-lines request parsing -------------------------------------
+// The request grammar is one flat object of scalars and float arrays; a
+// hand-rolled scanner keeps the example dependency-free.
+
+/// Finds `"key"` and returns the offset just past the following ':', or
+/// npos when the key is absent.
+std::size_t after_key(const std::string& line, const char* key) {
+  const std::string quoted = std::string("\"") + key + "\"";
+  const std::size_t at = line.find(quoted);
+  if (at == std::string::npos) return std::string::npos;
+  const std::size_t colon = line.find(':', at + quoted.size());
+  return colon == std::string::npos ? std::string::npos : colon + 1;
+}
+
+std::optional<long> parse_long_field(const std::string& line, const char* key) {
+  const std::size_t from = after_key(line, key);
+  if (from == std::string::npos) return std::nullopt;
+  char* end = nullptr;
+  const long v = std::strtol(line.c_str() + from, &end, 10);
+  if (end == line.c_str() + from) return std::nullopt;
+  return v;
+}
+
+/// Parses the array value of `key`: '[' number (',' number)* ']'.
+std::optional<std::vector<float>> parse_array_field(const std::string& line,
+                                                    const char* key) {
+  std::size_t at = after_key(line, key);
+  if (at == std::string::npos) return std::nullopt;
+  while (at < line.size() && std::isspace(static_cast<unsigned char>(line[at]))) {
+    ++at;
+  }
+  if (at >= line.size() || line[at] != '[') return std::nullopt;
+  ++at;
+  std::vector<float> values;
+  while (true) {
+    while (at < line.size() &&
+           (std::isspace(static_cast<unsigned char>(line[at])) || line[at] == ',')) {
+      ++at;
+    }
+    if (at >= line.size()) return std::nullopt;  // unterminated array
+    if (line[at] == ']') return values;
+    char* end = nullptr;
+    const float v = std::strtof(line.c_str() + at, &end);
+    if (end == line.c_str() + at) return std::nullopt;
+    values.push_back(v);
+    at = static_cast<std::size_t>(end - line.c_str());
+  }
+}
+
+void print_error(long id, const char* message) {
+  std::printf("{\"id\": %ld, \"error\": \"%s\"}\n", id, message);
+}
+
+void print_response(long id, const serve::Response& r) {
+  std::printf(
+      "{\"id\": %ld, \"latency_ms\": %.6g, \"energy_mj\": %.6g, "
+      "\"area_mm2\": %.6g, \"pe_x\": %d, \"pe_y\": %d, \"rf_size\": %d, "
+      "\"dataflow\": \"%s\", \"cached\": %s}\n",
+      id, r.metrics.latency_ms, r.metrics.energy_mj, r.metrics.area_mm2,
+      r.config.pe_x, r.config.pe_y, r.config.rf_size,
+      accel::to_string(r.config.dataflow).c_str(), r.cached ? "true" : "false");
+}
+
+const char* flag_value(const char* arg, const char* flag) {
+  const std::size_t n = std::strlen(flag);
+  return std::strncmp(arg, flag, n) == 0 ? arg + n : nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string backend_name = "exact";
+  std::string hwgen_ckpt;
+  std::string cost_ckpt;
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = flag_value(argv[i], "--backend=")) {
+      backend_name = v;
+    } else if (const char* v = flag_value(argv[i], "--hwgen-ckpt=")) {
+      hwgen_ckpt = v;
+    } else if (const char* v = flag_value(argv[i], "--cost-ckpt=")) {
+      cost_ckpt = v;
+    } else if (std::strcmp(argv[i], "--small") == 0) {
+      small = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (backend_name != "exact" && backend_name != "surrogate") {
+    std::fprintf(stderr, "--backend must be exact or surrogate\n");
+    return 2;
+  }
+
+  arch::ArchSpace arch_space(arch::cifar10_backbone());
+  const hwgen::HwSearchSpace hw_space =
+      small ? hwgen::HwSearchSpace({.pe_min = 8, .pe_max = 12, .rf_min = 8,
+                                    .rf_max = 32, .rf_step = 8})
+            : hwgen::HwSearchSpace();
+  accel::CostModel model;
+
+  // Built lazily per backend: the LUT is only worth building for --backend=exact.
+  std::unique_ptr<arch::CostTable> table;
+  std::unique_ptr<evalnet::Evaluator> evaluator;
+  std::unique_ptr<serve::CostQueryBackend> backend;
+  if (backend_name == "exact") {
+    table = std::make_unique<arch::CostTable>(arch_space, hw_space, model);
+    backend = std::make_unique<serve::ExactBackend>(*table, accel::edap_cost());
+  } else {
+    util::Rng rng(17);
+    evaluator = std::make_unique<evalnet::Evaluator>(
+        arch_space.encoding_width(), hw_space, rng);
+    if (!hwgen_ckpt.empty()) evaluator->hwgen_net().load(hwgen_ckpt);
+    if (!cost_ckpt.empty()) evaluator->cost_net().load(cost_ckpt);
+    if (hwgen_ckpt.empty() && cost_ckpt.empty()) {
+      std::fprintf(stderr,
+                   "[serve_jsonl] note: surrogate backend running with "
+                   "untrained weights (pass --hwgen-ckpt/--cost-ckpt)\n");
+    }
+    backend = std::make_unique<serve::SurrogateBackend>(*evaluator);
+  }
+
+  serve::Service service(*backend);  // options from DANCE_SERVE_* env
+  std::fprintf(stderr, "[serve_jsonl] backend=%s, reading JSON lines from stdin\n",
+               backend->name());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const long id = parse_long_field(line, "id").value_or(-1);
+
+    std::vector<float> encoding;
+    if (auto enc = parse_array_field(line, "encoding")) {
+      encoding = std::move(*enc);
+    } else if (auto ops = parse_array_field(line, "arch")) {
+      if (static_cast<int>(ops->size()) != arch_space.num_searchable()) {
+        print_error(id, "arch must list one op index per searchable slot");
+        continue;
+      }
+      arch::Architecture a;
+      bool ok = true;
+      for (float v : *ops) {
+        const int op = static_cast<int>(v);
+        if (op < 0 || op >= arch::kNumCandidateOps ||
+            static_cast<float>(op) != v) {
+          ok = false;
+          break;
+        }
+        a.push_back(arch::kAllCandidateOps[static_cast<std::size_t>(op)]);
+      }
+      if (!ok) {
+        print_error(id, "arch entries must be integer op indices in [0, 6]");
+        continue;
+      }
+      encoding = arch_space.encode(a);
+    } else {
+      print_error(id, "request needs an 'encoding' or 'arch' array");
+      continue;
+    }
+
+    if (static_cast<int>(encoding.size()) != arch_space.encoding_width()) {
+      print_error(id, "encoding has the wrong width");
+      continue;
+    }
+    try {
+      print_response(id, service.query(serve::Request{std::move(encoding)}));
+    } catch (const std::exception& e) {
+      print_error(id, e.what());
+    }
+    std::fflush(stdout);
+  }
+
+  std::fputs(service.stats_report().c_str(), stderr);
+  return 0;
+}

@@ -1,5 +1,8 @@
 #include "evalnet/evaluator.h"
 
+#include <cstring>
+#include <stdexcept>
+
 namespace dance::evalnet {
 
 Evaluator::Evaluator(int arch_encoding_width, const hwgen::HwSearchSpace& space,
@@ -27,12 +30,52 @@ Evaluator::Output Evaluator::forward(const tensor::Variable& arch_enc,
   return out;
 }
 
+Evaluator::Output Evaluator::forward_deterministic(
+    const tensor::Variable& arch_enc) {
+  if (training_) {
+    throw std::logic_error(
+        "Evaluator::forward_deterministic: requires eval mode "
+        "(set_training(false)); batch-norm batch statistics would make the "
+        "output batch-composition dependent");
+  }
+  Output out;
+  out.hw_encoding = hwgen_->forward_encoded_deterministic(arch_enc);
+  if (cost_->feature_forwarding()) {
+    out.metrics = cost_->forward(arch_enc, out.hw_encoding);
+  } else {
+    out.metrics = cost_->forward(arch_enc, tensor::Variable{});
+  }
+  return out;
+}
+
+Evaluator::Output Evaluator::forward_batch(
+    const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) {
+    throw std::invalid_argument("Evaluator::forward_batch: empty batch");
+  }
+  const std::size_t width = rows.front().size();
+  for (const auto& r : rows) {
+    if (r.size() != width) {
+      throw std::invalid_argument(
+          "Evaluator::forward_batch: rows have unequal widths");
+    }
+  }
+  tensor::Tensor stacked(
+      {static_cast<int>(rows.size()), static_cast<int>(width)});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::memcpy(stacked.data() + i * width, rows[i].data(),
+                width * sizeof(float));
+  }
+  return forward_deterministic(tensor::Variable(std::move(stacked)));
+}
+
 void Evaluator::set_frozen(bool frozen) {
   for (auto& p : hwgen_->parameters()) p.node()->requires_grad = !frozen;
   for (auto& p : cost_->parameters()) p.node()->requires_grad = !frozen;
 }
 
 void Evaluator::set_training(bool training) {
+  training_ = training;
   hwgen_->set_training(training);
   cost_->set_training(training);
 }

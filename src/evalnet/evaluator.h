@@ -34,6 +34,30 @@ class Evaluator {
   /// a soft distribution during search) to predicted cost metrics.
   [[nodiscard]] Output forward(const tensor::Variable& arch_enc, util::Rng& rng);
 
+  /// Deterministic inference contract (the dance::serve path)
+  /// ---------------------------------------------------------
+  /// `forward` draws Gumbel noise from the caller's RNG, so the result of a
+  /// query depends on the RNG stream position — two identical requests in
+  /// different orders produce different bits, which makes answers
+  /// uncacheable. `forward_deterministic` replaces the sampling with the
+  /// tau-frozen argmax path: each hardware head emits the hard one-hot of
+  /// its logits (straight-through), no noise, no RNG. The output is then a
+  /// pure function of (`arch_enc`, parameters):
+  ///   * identical encodings map to bit-identical outputs, in any order,
+  ///   * rows are independent, so stacking encodings into one [N, W] batch
+  ///     (`forward_batch`) is bit-identical to N single-row calls.
+  /// Both guarantees require eval mode (`set_training(false)`): in training
+  /// mode the cost net's batch norm uses batch statistics, which depend on
+  /// batch composition (and mutate the running buffers). Both methods throw
+  /// std::logic_error when the evaluator is still in training mode.
+  [[nodiscard]] Output forward_deterministic(const tensor::Variable& arch_enc);
+
+  /// Batched deterministic inference: stacks `rows` (each one arch-encoding
+  /// row of equal width) into a single [N, W] forward. This is the
+  /// micro-batching entry point the serve layer amortizes queries through.
+  [[nodiscard]] Output forward_batch(
+      const std::vector<std::vector<float>>& rows);
+
   [[nodiscard]] HwGenNet& hwgen_net() { return *hwgen_; }
   [[nodiscard]] CostNet& cost_net() { return *cost_; }
   [[nodiscard]] const Options& options() const { return opts_; }
@@ -41,11 +65,13 @@ class Evaluator {
   /// Freeze/unfreeze all parameters (the evaluator is frozen during search).
   void set_frozen(bool frozen);
   void set_training(bool training);
+  [[nodiscard]] bool training() const { return training_; }
 
  private:
   Options opts_;
   std::unique_ptr<HwGenNet> hwgen_;
   std::unique_ptr<CostNet> cost_;
+  bool training_ = true;
 };
 
 }  // namespace dance::evalnet

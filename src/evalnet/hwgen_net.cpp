@@ -46,6 +46,17 @@ tensor::Variable HwGenNet::forward_encoded(const tensor::Variable& arch_enc,
   return ops::concat_cols(heads);
 }
 
+tensor::Variable HwGenNet::forward_encoded_deterministic(
+    const tensor::Variable& arch_enc) {
+  const tensor::Variable lg = logits(arch_enc);
+  std::vector<tensor::Variable> heads;
+  heads.reserve(4);
+  for (const auto& [begin, end] : head_ranges()) {
+    heads.push_back(ops::hard_max_st(ops::slice_cols(lg, begin, end)));
+  }
+  return ops::concat_cols(heads);
+}
+
 std::vector<accel::AcceleratorConfig> HwGenNet::predict(
     const tensor::Variable& arch_enc) {
   const tensor::Variable lg = logits(arch_enc);

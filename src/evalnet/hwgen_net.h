@@ -43,6 +43,14 @@ class HwGenNet {
                                                  float tau, bool hard,
                                                  util::Rng& rng);
 
+  /// Tau-frozen deterministic variant of `forward_encoded`: per-head hard
+  /// argmax of the logits (straight-through), no Gumbel noise, no RNG. The
+  /// encoding agrees with `predict` row by row; this is the serving path
+  /// (dance::serve), where identical inputs must produce identical outputs
+  /// regardless of RNG stream order.
+  [[nodiscard]] tensor::Variable forward_encoded_deterministic(
+      const tensor::Variable& arch_enc);
+
   /// Argmax-decode a predicted configuration for each row of `arch_enc`.
   [[nodiscard]] std::vector<accel::AcceleratorConfig> predict(
       const tensor::Variable& arch_enc);

@@ -6,6 +6,9 @@
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <vector>
+
+#include "util/stats.h"
 
 namespace dance::runtime {
 
@@ -16,10 +19,17 @@ std::atomic<bool> g_enabled{[] {
   return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
 }()};
 
+/// Aggregate plus the bounded sample ring the percentile columns come from.
+struct OpEntry {
+  OpStats stats;
+  std::vector<double> samples;     ///< at most kProfilerSampleCap entries
+  std::size_t next_sample = 0;     ///< ring write cursor once full
+};
+
 std::mutex g_mu;
 // std::map keeps the registry ordered so equal-total ties report stably.
-std::map<std::string, OpStats>& registry() {
-  static std::map<std::string, OpStats> r;
+std::map<std::string, OpEntry>& registry() {
+  static std::map<std::string, OpEntry> r;
   return r;
 }
 
@@ -33,18 +43,31 @@ void set_profiling_enabled(bool enabled) {
 
 void profiler_record(const char* name, double ms) {
   std::lock_guard<std::mutex> lk(g_mu);
-  OpStats& s = registry()[name];
+  OpEntry& e = registry()[name];
+  OpStats& s = e.stats;
   if (s.calls == 0 || ms < s.min_ms) s.min_ms = ms;
   if (ms > s.max_ms) s.max_ms = ms;
   ++s.calls;
   s.total_ms += ms;
+  if (e.samples.size() < kProfilerSampleCap) {
+    e.samples.push_back(ms);
+  } else {
+    e.samples[e.next_sample] = ms;
+    e.next_sample = (e.next_sample + 1) % kProfilerSampleCap;
+  }
 }
 
 std::vector<std::pair<std::string, OpStats>> profiler_snapshot() {
   std::vector<std::pair<std::string, OpStats>> out;
   {
     std::lock_guard<std::mutex> lk(g_mu);
-    out.assign(registry().begin(), registry().end());
+    out.reserve(registry().size());
+    for (const auto& [name, entry] : registry()) {
+      OpStats s = entry.stats;
+      s.p50_ms = util::percentile(entry.samples, 50.0);
+      s.p95_ms = util::percentile(entry.samples, 95.0);
+      out.emplace_back(name, s);
+    }
   }
   std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.second.total_ms > b.second.total_ms;
@@ -63,19 +86,21 @@ std::string profiler_report() {
   std::size_t name_w = 4;  // "op"
   for (const auto& [name, stats] : snap) name_w = std::max(name_w, name.size());
   std::string out;
-  char line[256];
-  std::snprintf(line, sizeof(line), "%-*s %10s %12s %10s %10s %10s\n",
+  char line[320];
+  std::snprintf(line, sizeof(line),
+                "%-*s %10s %12s %10s %10s %10s %10s %10s\n",
                 static_cast<int>(name_w), "op", "calls", "total_ms", "mean_ms",
-                "min_ms", "max_ms");
+                "p50_ms", "p95_ms", "min_ms", "max_ms");
   out += line;
-  out.append(name_w + 58, '-');
+  out.append(name_w + 80, '-');
   out += '\n';
   for (const auto& [name, stats] : snap) {
     std::snprintf(line, sizeof(line),
-                  "%-*s %10llu %12.3f %10.4f %10.4f %10.4f\n",
+                  "%-*s %10llu %12.3f %10.4f %10.4f %10.4f %10.4f %10.4f\n",
                   static_cast<int>(name_w), name.c_str(),
                   static_cast<unsigned long long>(stats.calls), stats.total_ms,
-                  stats.mean_ms(), stats.min_ms, stats.max_ms);
+                  stats.mean_ms(), stats.p50_ms, stats.p95_ms, stats.min_ms,
+                  stats.max_ms);
     out += line;
   }
   return out;

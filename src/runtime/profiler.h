@@ -8,17 +8,25 @@
 
 namespace dance::runtime {
 
-/// Aggregated wall-clock statistics for one op name.
+/// Aggregated wall-clock statistics for one op name. The percentiles are
+/// computed at snapshot time from a bounded ring of the most recent samples
+/// (see kProfilerSampleCap), so they describe the recent distribution rather
+/// than the full history when an op is called more often than the cap.
 struct OpStats {
   std::uint64_t calls = 0;
   double total_ms = 0.0;
   double min_ms = 0.0;
   double max_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
 
   [[nodiscard]] double mean_ms() const {
     return calls == 0 ? 0.0 : total_ms / static_cast<double>(calls);
   }
 };
+
+/// Per-op samples retained for the percentile columns.
+inline constexpr std::size_t kProfilerSampleCap = 4096;
 
 /// Whether ScopedTimer records anything. Compiled in unconditionally but off
 /// by default; flipped at runtime via set_profiling_enabled() or by setting

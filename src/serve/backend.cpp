@@ -1,0 +1,78 @@
+#include "serve/backend.h"
+
+#include <array>
+#include <stdexcept>
+#include <utility>
+
+namespace dance::serve {
+
+ExactBackend::ExactBackend(const arch::CostTable& table,
+                           accel::HwCostFn cost_fn)
+    : table_(table), cost_fn_(std::move(cost_fn)) {
+  if (!cost_fn_) {
+    throw std::invalid_argument("ExactBackend: cost_fn must be callable");
+  }
+}
+
+std::vector<Response> ExactBackend::query_batch(
+    std::span<const Request> requests) {
+  const arch::ArchSpace& space = table_.arch_space();
+  std::vector<Response> out;
+  out.reserve(requests.size());
+  for (const Request& req : requests) {
+    if (static_cast<int>(req.encoding.size()) != space.encoding_width()) {
+      throw std::invalid_argument("ExactBackend: encoding width mismatch");
+    }
+    const arch::Architecture a = space.decode(req.encoding);
+    const hwgen::HwSearchResult best = table_.optimal(a, cost_fn_);
+    out.push_back(Response{best.metrics, best.config, /*cached=*/false});
+  }
+  return out;
+}
+
+SurrogateBackend::SurrogateBackend(evalnet::Evaluator& evaluator)
+    : evaluator_(evaluator) {
+  // Serving prerequisite: frozen parameters, eval-mode batch norm. Without
+  // eval mode the deterministic forward throws (see evaluator.h).
+  evaluator_.set_frozen(true);
+  evaluator_.set_training(false);
+}
+
+std::vector<Response> SurrogateBackend::query_batch(
+    std::span<const Request> requests) {
+  std::vector<std::vector<float>> rows;
+  rows.reserve(requests.size());
+  for (const Request& req : requests) rows.push_back(req.encoding);
+
+  const evalnet::Evaluator::Output out = evaluator_.forward_batch(rows);
+  const auto& metrics = out.metrics.value();      // [N, 3]
+  const auto& hw = out.hw_encoding.value();       // [N, hw_width] one-hot
+  const auto ranges = evaluator_.hwgen_net().head_ranges();
+  const hwgen::HwSearchSpace& space = evaluator_.hwgen_net().space();
+
+  std::vector<Response> responses;
+  responses.reserve(requests.size());
+  for (int r = 0; r < metrics.rows(); ++r) {
+    Response resp;
+    resp.metrics.latency_ms = metrics.at(r, 0);
+    resp.metrics.energy_mj = metrics.at(r, 1);
+    resp.metrics.area_mm2 = metrics.at(r, 2);
+    // The deterministic heads are exact one-hots; argmax recovers the index.
+    std::array<int, 4> arg{};
+    for (int h = 0; h < 4; ++h) {
+      const auto [begin, end] = ranges[static_cast<std::size_t>(h)];
+      int best = begin;
+      for (int c = begin + 1; c < end; ++c) {
+        if (hw.at(r, c) > hw.at(r, best)) best = c;
+      }
+      arg[static_cast<std::size_t>(h)] = best - begin;
+    }
+    resp.config = accel::AcceleratorConfig{
+        space.pe_value(arg[0]), space.pe_value(arg[1]), space.rf_value(arg[2]),
+        space.dataflow_value(arg[3])};
+    responses.push_back(resp);
+  }
+  return responses;
+}
+
+}  // namespace dance::serve

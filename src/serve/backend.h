@@ -1,0 +1,68 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "accel/cost_function.h"
+#include "arch/cost_table.h"
+#include "evalnet/evaluator.h"
+#include "serve/types.h"
+
+namespace dance::serve {
+
+/// A cost-query answering backend. `query_batch` answers N requests in one
+/// call — the batch is the unit the micro-batcher amortizes, so backends
+/// should answer a batch cheaper than N single queries where they can
+/// (the surrogate stacks all rows into one network forward; the exact
+/// backend walks the LUT per request).
+///
+/// Determinism contract: both shipped backends are pure functions of the
+/// request — answering the same encoding twice, in any order, at any batch
+/// position, yields bit-identical responses. The memoization cache and the
+/// batcher both rely on this.
+class CostQueryBackend {
+ public:
+  virtual ~CostQueryBackend() = default;
+
+  /// Answers `requests` in order; the result has exactly one response per
+  /// request. Must be safe to call from one thread at a time (the Service
+  /// serializes calls through the batcher).
+  [[nodiscard]] virtual std::vector<Response> query_batch(
+      std::span<const Request> requests) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Ground-truth backend: argmax-decodes the encoding to a concrete
+/// architecture and runs exact hardware generation through the per-choice
+/// cost LUT (bit-identical to direct cost-model evaluation).
+class ExactBackend : public CostQueryBackend {
+ public:
+  ExactBackend(const arch::CostTable& table, accel::HwCostFn cost_fn);
+
+  [[nodiscard]] std::vector<Response> query_batch(
+      std::span<const Request> requests) override;
+  [[nodiscard]] const char* name() const override { return "exact"; }
+
+ private:
+  const arch::CostTable& table_;
+  accel::HwCostFn cost_fn_;
+};
+
+/// Trained-surrogate backend: one deterministic [N, W] evaluator forward per
+/// batch (Evaluator::forward_batch). The hardware configuration is decoded
+/// from the tau-frozen one-hot heads. Construction puts the evaluator into
+/// frozen eval mode — the deterministic-inference prerequisite.
+class SurrogateBackend : public CostQueryBackend {
+ public:
+  explicit SurrogateBackend(evalnet::Evaluator& evaluator);
+
+  [[nodiscard]] std::vector<Response> query_batch(
+      std::span<const Request> requests) override;
+  [[nodiscard]] const char* name() const override { return "surrogate"; }
+
+ private:
+  evalnet::Evaluator& evaluator_;
+};
+
+}  // namespace dance::serve

@@ -1,0 +1,132 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace dance::serve {
+
+MicroBatcher::MicroBatcher(CostQueryBackend& backend, Options opts)
+    : backend_(backend), opts_(opts) {
+  if (opts_.max_batch > 1) {
+    if (opts_.max_wait_us < 0) opts_.max_wait_us = 0;
+    worker_ = std::thread([this] { drain_loop(); });
+  }
+}
+
+MicroBatcher::~MicroBatcher() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+}
+
+Response MicroBatcher::query(const Request& request) {
+  if (opts_.max_batch <= 1) {
+    // Inline mode: no worker, no future — the caller runs the backend.
+    const Request* ptr = &request;
+    auto responses = backend_.query_batch({ptr, 1});
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.requests;
+    ++stats_.batches;
+    stats_.max_batch_seen = std::max<std::uint64_t>(stats_.max_batch_seen, 1);
+    return responses.front();
+  }
+
+  std::future<Response> future;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (pending_.empty()) oldest_enqueue_ = std::chrono::steady_clock::now();
+    Pending p;
+    p.request = &request;  // stays alive: the caller blocks on the future
+    future = p.promise.get_future();
+    pending_.push_back(std::move(p));
+  }
+  cv_.notify_all();
+  return future.get();
+}
+
+std::vector<Response> MicroBatcher::query_span(
+    std::span<const Request> requests) {
+  std::vector<Response> out;
+  out.reserve(requests.size());
+  const std::size_t step =
+      static_cast<std::size_t>(std::max(1, opts_.max_batch));
+  for (std::size_t i = 0; i < requests.size(); i += step) {
+    const std::size_t n = std::min(step, requests.size() - i);
+    auto chunk = backend_.query_batch(requests.subspan(i, n));
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.requests += n;
+      ++stats_.batches;
+      stats_.max_batch_seen = std::max(stats_.max_batch_seen,
+                                       static_cast<std::uint64_t>(n));
+    }
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+MicroBatcher::Stats MicroBatcher::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+void MicroBatcher::drain_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !pending_.empty(); });
+      if (stop_ && pending_.empty()) return;
+      // A partial batch waits until the deadline of its *oldest* request;
+      // a full batch (or shutdown) goes immediately.
+      const auto deadline =
+          oldest_enqueue_ + std::chrono::microseconds(opts_.max_wait_us);
+      cv_.wait_until(lk, deadline, [&] {
+        return stop_ ||
+               pending_.size() >= static_cast<std::size_t>(opts_.max_batch);
+      });
+      if (stop_ && pending_.empty()) return;
+      const std::size_t take = std::min<std::size_t>(
+          pending_.size(), static_cast<std::size_t>(opts_.max_batch));
+      batch.assign(std::make_move_iterator(pending_.begin()),
+                   std::make_move_iterator(pending_.begin() +
+                                           static_cast<std::ptrdiff_t>(take)));
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + static_cast<std::ptrdiff_t>(take));
+      if (!pending_.empty()) oldest_enqueue_ = std::chrono::steady_clock::now();
+    }
+    execute(std::move(batch));
+  }
+}
+
+void MicroBatcher::execute(std::vector<Pending> batch) {
+  std::vector<Request> requests;
+  requests.reserve(batch.size());
+  for (const Pending& p : batch) requests.push_back(*p.request);
+  // Count the batch before fulfilling any promise: a caller that has observed
+  // its own response must also observe this batch in stats().
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.requests += batch.size();
+    ++stats_.batches;
+    stats_.max_batch_seen = std::max(stats_.max_batch_seen,
+                                     static_cast<std::uint64_t>(batch.size()));
+  }
+  try {
+    auto responses = backend_.query_batch(requests);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(responses[i]);
+    }
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    for (Pending& p : batch) p.promise.set_exception(err);
+  }
+}
+
+}  // namespace dance::serve

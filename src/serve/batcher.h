@@ -1,0 +1,97 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/backend.h"
+
+namespace dance::serve {
+
+/// Coalesces concurrent cost queries into batched backend calls.
+///
+/// Blocking `query` calls park their request in a pending list and wait on a
+/// future; a dedicated drain worker forms a batch when either
+///   * `max_batch` requests are pending (count trigger), or
+///   * `max_wait_us` has elapsed since the oldest pending request arrived
+///     (deadline trigger — bounds the latency a lone request pays for the
+///     chance of being batched).
+/// The worker executes the backend call itself; the heavy math inside the
+/// backends (the evaluator's tensor ops, the LUT scans) fans out onto
+/// `runtime::global_pool()` from there, so client threads never occupy pool
+/// lanes while they sleep.
+///
+/// With `max_batch <= 1` no worker is spawned and `query` calls the backend
+/// inline on the caller — the safe mode for callers that are themselves
+/// pool-job bodies (see docs/serve.md on the deadlock hazard of blocking on
+/// a future from inside a pool job).
+class MicroBatcher {
+ public:
+  struct Options {
+    int max_batch = 32;        ///< count trigger; <= 1 disables batching
+    long max_wait_us = 200;    ///< deadline trigger for partial batches
+  };
+
+  /// Counters for the stats report.
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t max_batch_seen = 0;
+
+    [[nodiscard]] double mean_batch() const {
+      return batches == 0 ? 0.0
+                          : static_cast<double>(requests) /
+                                static_cast<double>(batches);
+    }
+  };
+
+  MicroBatcher(CostQueryBackend& backend, Options opts);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Blocking single query; coalesced with concurrent callers. Backend
+  /// exceptions propagate to every caller in the failed batch.
+  [[nodiscard]] Response query(const Request& request);
+
+  /// Bulk entry point: answers all `requests` by slicing them directly into
+  /// `max_batch`-sized backend calls on the calling thread — no deadline
+  /// wait, no worker round-trip. Used by Service::query_many and the replay
+  /// bench; safe from pool-job bodies (runs inline).
+  [[nodiscard]] std::vector<Response> query_span(
+      std::span<const Request> requests);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const Options& options() const { return opts_; }
+  [[nodiscard]] CostQueryBackend& backend() { return backend_; }
+
+ private:
+  struct Pending {
+    const Request* request = nullptr;
+    std::promise<Response> promise;
+  };
+
+  void drain_loop();
+  void execute(std::vector<Pending> batch);
+
+  CostQueryBackend& backend_;
+  Options opts_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Pending> pending_;
+  std::chrono::steady_clock::time_point oldest_enqueue_{};
+  bool stop_ = false;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  std::thread worker_;  ///< last member: joins cleanly before state dies
+};
+
+}  // namespace dance::serve

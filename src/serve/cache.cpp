@@ -1,0 +1,73 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace dance::serve {
+
+ShardedLruCache::ShardedLruCache(std::size_t capacity, int num_shards) {
+  capacity_ = std::max<std::size_t>(1, capacity);
+  const std::size_t shards = std::clamp<std::size_t>(
+      num_shards < 1 ? 1 : static_cast<std::size_t>(num_shards), 1, capacity_);
+  per_shard_capacity_ = (capacity_ + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::optional<Response> ShardedLruCache::get(const Key& key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lk(s.mu);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    ++s.misses;
+    return std::nullopt;
+  }
+  ++s.hits;
+  // Refresh recency: splice the node to the front without reallocating.
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  return it->second->second;
+}
+
+void ShardedLruCache::put(const Key& key, const Response& response) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lk(s.mu);
+  const auto it = s.map.find(key);
+  if (it != s.map.end()) {
+    it->second->second = response;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.emplace_front(key, response);
+  s.map.emplace(key, s.lru.begin());
+  if (s.map.size() > per_shard_capacity_) {
+    s.map.erase(s.lru.back().first);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+}
+
+ShardedLruCache::Stats ShardedLruCache::stats() const {
+  Stats out;
+  out.capacity = capacity_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.entries += shard->map.size();
+  }
+  return out;
+}
+
+void ShardedLruCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    shard->map.clear();
+    shard->lru.clear();
+    shard->hits = shard->misses = shard->evictions = 0;
+  }
+}
+
+}  // namespace dance::serve

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/types.h"
+
+namespace dance::serve {
+
+/// Thread-safe sharded LRU memoization cache for cost-query responses.
+///
+/// The key space is split across `num_shards` independent shards (selected
+/// by the key hash), each with its own mutex, map and LRU list, so
+/// concurrent lookups of different keys rarely contend on a lock. Each
+/// shard holds at most ceil(capacity / num_shards) entries and evicts its
+/// own least-recently-used entry on overflow; `get` refreshes recency.
+///
+/// Transparency contract: the cache stores responses verbatim and never
+/// synthesizes one, so for a deterministic backend a cached answer is
+/// bit-identical to an uncached one (tests/test_property_serve.cpp hammers
+/// this from many threads). Keys must be canonicalized (`canonical_key`)
+/// before insertion/lookup — the Service does this for every query.
+class ShardedLruCache {
+ public:
+  using Key = std::vector<float>;
+
+  /// Aggregate hit/miss/eviction counters across all shards.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+
+    [[nodiscard]] double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  /// `capacity` is the total entry budget (>= 1 enforced); `num_shards` is
+  /// clamped to [1, capacity] so every shard can hold at least one entry.
+  explicit ShardedLruCache(std::size_t capacity, int num_shards = 8);
+
+  /// Lookup; refreshes the entry's recency on hit. Counts a hit or a miss.
+  [[nodiscard]] std::optional<Response> get(const Key& key);
+
+  /// Insert or overwrite. Evicts the shard's LRU entry on overflow.
+  void put(const Key& key, const Response& response);
+
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Most-recent at the front; holds the key so eviction can erase the
+    /// map entry without a second copy of the key in the node.
+    std::list<std::pair<Key, Response>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, Response>>::iterator,
+                       KeyHash, KeyEq>
+        map;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(const Key& key) {
+    return *shards_[KeyHash{}(key) % shards_.size()];
+  }
+
+  std::size_t capacity_ = 0;
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dance::serve

@@ -1,0 +1,203 @@
+#include "serve/service.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <utility>
+
+#include "util/stats.h"
+
+namespace dance::serve {
+
+namespace {
+
+constexpr std::size_t kLatencySampleCap = 1 << 16;
+
+/// Parses env var `name` as a long; returns `fallback` when unset or when
+/// the value does not parse as an integer >= `min_value`.
+long env_long(const char* name, long fallback, long min_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < min_value) return fallback;
+  return v;
+}
+
+}  // namespace
+
+Service::Options Service::Options::from_env() {
+  Options opts;
+  opts.cache_capacity = static_cast<std::size_t>(env_long(
+      "DANCE_SERVE_CACHE_CAP", static_cast<long>(opts.cache_capacity), 1));
+  opts.cache_shards =
+      static_cast<int>(env_long("DANCE_SERVE_SHARDS", opts.cache_shards, 1));
+  if (const char* env = std::getenv("DANCE_SERVE_CACHE")) {
+    opts.enable_cache = !(env[0] == '0' && env[1] == '\0');
+  }
+  opts.batch.max_batch = static_cast<int>(
+      env_long("DANCE_SERVE_MAX_BATCH", opts.batch.max_batch, 1));
+  opts.batch.max_wait_us =
+      env_long("DANCE_SERVE_MAX_WAIT_US", opts.batch.max_wait_us, 0);
+  return opts;
+}
+
+Service::Service(CostQueryBackend& backend, Options opts)
+    : opts_(opts), batcher_(backend, opts.batch) {
+  if (opts_.enable_cache) {
+    cache_ = std::make_unique<ShardedLruCache>(opts_.cache_capacity,
+                                               opts_.cache_shards);
+  }
+  latency_ring_.reserve(kLatencySampleCap);
+  window_start_ = std::chrono::steady_clock::now();
+}
+
+Response Service::query(const Request& request) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<float> key = canonical_key(request.encoding);
+
+  Response response;
+  bool from_cache = false;
+  if (cache_) {
+    if (auto hit = cache_->get(key)) {
+      response = *hit;
+      from_cache = true;
+    }
+  }
+  if (!from_cache) {
+    response = batcher_.query(request);
+    response.cached = false;
+    if (cache_) cache_->put(key, response);
+  }
+  response.cached = from_cache;
+
+  const auto end = std::chrono::steady_clock::now();
+  record_latency_us(
+      std::chrono::duration<double, std::micro>(end - start).count());
+  return response;
+}
+
+std::vector<Response> Service::query_many(std::span<const Request> requests) {
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<Response> out(requests.size());
+  std::vector<Request> misses;  ///< one representative per unique missed key
+  /// Positions to fill from `misses`; second = index into `misses`. Repeated
+  /// keys within one bulk call are deduplicated here, so the backend sees
+  /// each unique key once even on a cold cache.
+  std::vector<std::pair<std::size_t, std::size_t>> miss_fill;
+  std::unordered_map<std::vector<float>, std::size_t, KeyHash, KeyEq> pending;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    std::vector<float> key = canonical_key(requests[i].encoding);
+    if (cache_) {
+      if (auto hit = cache_->get(key)) {
+        out[i] = *hit;
+        out[i].cached = true;
+        continue;
+      }
+    }
+    const auto [it, inserted] = pending.try_emplace(std::move(key), misses.size());
+    if (inserted) misses.push_back(requests[i]);
+    miss_fill.emplace_back(i, it->second);
+  }
+
+  if (!misses.empty()) {
+    auto answered = batcher_.query_span(misses);
+    std::vector<bool> first_fill(misses.size(), true);
+    for (const auto& [position, m] : miss_fill) {
+      out[position] = answered[m];
+      // The first occurrence paid for the backend call; later occurrences of
+      // the same key were answered by within-call memoization.
+      out[position].cached = !first_fill[m];
+      first_fill[m] = false;
+    }
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+      answered[m].cached = false;
+      if (cache_) {
+        cache_->put(canonical_key(misses[m].encoding), answered[m]);
+      }
+    }
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  // One latency sample per request: the mean wall share of the bulk call
+  // (per-request timing inside a bulk replay would mostly time the clock).
+  const double per_request_us =
+      requests.empty()
+          ? 0.0
+          : std::chrono::duration<double, std::micro>(end - start).count() /
+                static_cast<double>(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    record_latency_us(per_request_us);
+  }
+  return out;
+}
+
+void Service::record_latency_us(double us) {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ++queries_;
+  if (latency_ring_.size() < kLatencySampleCap) {
+    latency_ring_.push_back(us);
+  } else {
+    latency_ring_[latency_next_] = us;
+    latency_next_ = (latency_next_ + 1) % kLatencySampleCap;
+  }
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    s.queries = queries_;
+    s.window_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - window_start_)
+                           .count();
+    s.p50_us = util::percentile(latency_ring_, 50.0);
+    s.p95_us = util::percentile(latency_ring_, 95.0);
+  }
+  s.qps = s.window_seconds > 0.0
+              ? static_cast<double>(s.queries) / s.window_seconds
+              : 0.0;
+  if (cache_) s.cache = cache_->stats();
+  s.batcher = batcher_.stats();
+  return s;
+}
+
+std::string Service::stats_report() const {
+  const ServiceStats s = stats();
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "[serve] %llu queries in %.3f s (%.0f QPS)\n",
+                static_cast<unsigned long long>(s.queries), s.window_seconds,
+                s.qps);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "[serve] cache: %llu hits / %llu misses (%.1f%% hit rate), "
+                "%zu/%zu entries, %llu evictions\n",
+                static_cast<unsigned long long>(s.cache.hits),
+                static_cast<unsigned long long>(s.cache.misses),
+                100.0 * s.cache.hit_rate(), s.cache.entries, s.cache.capacity,
+                static_cast<unsigned long long>(s.cache.evictions));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "[serve] batches: %llu (mean %.1f, max %llu per batch)\n",
+                static_cast<unsigned long long>(s.batcher.batches),
+                s.batcher.mean_batch(),
+                static_cast<unsigned long long>(s.batcher.max_batch_seen));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "[serve] latency: p50 %.1f us, p95 %.1f us\n", s.p50_us,
+                s.p95_us);
+  out += line;
+  return out;
+}
+
+void Service::reset_stats() {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  queries_ = 0;
+  latency_ring_.clear();
+  latency_next_ = 0;
+  window_start_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace dance::serve

@@ -1,12 +1,31 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
+#include <vector>
 
 namespace dance::util {
 
 /// Arithmetic mean; returns 0 for an empty span.
 double mean(std::span<const double> xs);
+
+/// p-th percentile (p in [0, 100], clamped) with linear interpolation
+/// between closest ranks (the R-7/NumPy default): rank = p/100 * (n-1).
+/// The input need not be sorted; 0 for an empty span. Header-only so
+/// dance_runtime (which sits below dance_util in the link order) can use it
+/// for the profiler's p50/p95 columns without a dependency cycle.
+inline double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
 
 /// Sample standard deviation (n-1 denominator); 0 for n < 2.
 double stddev(std::span<const double> xs);

@@ -398,6 +398,18 @@ TEST(Profiler, RecordAccumulatesTotals) {
   EXPECT_DOUBLE_EQ(snap[0].second.min_ms, 1.5);
   EXPECT_DOUBLE_EQ(snap[0].second.max_ms, 2.5);
   EXPECT_DOUBLE_EQ(snap[0].second.mean_ms(), 2.0);
+  // Percentiles interpolate over the recorded samples (R-7 ranks).
+  EXPECT_DOUBLE_EQ(snap[0].second.p50_ms, 2.0);
+  EXPECT_DOUBLE_EQ(snap[0].second.p95_ms, 2.45);
+  runtime::profiler_reset();
+}
+
+TEST(Profiler, ReportIncludesPercentileColumns) {
+  runtime::profiler_reset();
+  runtime::profiler_record("test.percentiles", 1.0);
+  const std::string report = runtime::profiler_report();
+  EXPECT_NE(report.find("p50_ms"), std::string::npos);
+  EXPECT_NE(report.find("p95_ms"), std::string::npos);
   runtime::profiler_reset();
 }
 

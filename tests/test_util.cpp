@@ -65,6 +65,26 @@ TEST(Stats, MeanAndStddev) {
   EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
 }
 
+TEST(Stats, PercentileInterpolatesBetweenRanks) {
+  // Unsorted on purpose: percentile sorts a copy.
+  const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);   // midpoint of 20 and 30
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 17.5);   // rank 0.75 between 10, 20
+  EXPECT_DOUBLE_EQ(percentile(xs, 95.0), 38.5);   // rank 2.85 between 30, 40
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 100.0), 7.0);
+  // Out-of-range p clamps instead of reading out of bounds.
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 250.0), 2.0);
+}
+
 TEST(Stats, MeanRelativeError) {
   const std::vector<double> pred = {110.0, 90.0};
   const std::vector<double> truth = {100.0, 100.0};
