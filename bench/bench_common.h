@@ -8,24 +8,20 @@
 // counts so the same binaries can run paper-closer workloads when given more
 // time: e.g. DANCE_BENCH_SCALE=4 ./bench_table1_evaluator.
 
-#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
 
 #include "testing/generators.h"
+#include "util/env.h"
 #include "util/rng.h"
 
 namespace dance::bench {
 
-/// Scale factor from the environment (default 1.0, clamped to [0.1, 100]).
+/// Scale factor from the environment (default 1.0, valid range [0.1, 100];
+/// anything else falls back to 1.0).
 inline double scale() {
-  const char* env = std::getenv("DANCE_BENCH_SCALE");
-  if (env == nullptr) return 1.0;
-  const double v = std::atof(env);
-  if (v < 0.1) return 0.1;
-  if (v > 100.0) return 100.0;
-  return v;
+  return util::env_double("DANCE_BENCH_SCALE", 1.0, 0.1, 100.0);
 }
 
 inline int scaled(int base) {
@@ -37,8 +33,8 @@ inline int scaled(int base) {
 /// to bench/data (created on demand) so repo-root invocations keep outputs
 /// out of the working directory.
 inline std::string data_path(const std::string& filename) {
-  const char* env = std::getenv("DANCE_BENCH_DATA_DIR");
-  const std::filesystem::path dir = env != nullptr ? env : "bench/data";
+  const std::filesystem::path dir =
+      util::env_string("DANCE_BENCH_DATA_DIR", "bench/data");
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);  // best effort
   return (dir / filename).string();

@@ -35,8 +35,10 @@
 #include "accel/cost_function.h"
 #include "arch/cost_table.h"
 #include "evalnet/evaluator.h"
+#include "obs/span.h"
 #include "serve/backend.h"
 #include "serve/service.h"
+#include "util/env.h"
 
 namespace {
 
@@ -167,7 +169,13 @@ int main(int argc, char** argv) {
   serve::Service service(*backend);  // options from DANCE_SERVE_* env
   std::fprintf(stderr, "[serve_jsonl] backend=%s, reading JSON lines from stdin\n",
                backend->name());
+  const std::string metrics_path = util::env_string("DANCE_METRICS_JSON", "");
+  if (!metrics_path.empty()) {
+    std::fprintf(stderr, "[serve_jsonl] metrics will be exported to %s at exit\n",
+                 metrics_path.c_str());
+  }
 
+  obs::ScopedSpan stream_span("serve_jsonl.stream");
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
@@ -207,6 +215,7 @@ int main(int argc, char** argv) {
       continue;
     }
     try {
+      obs::ScopedSpan request_span("serve_jsonl.request");
       print_response(id, service.query(serve::Request{std::move(encoding)}));
     } catch (const std::exception& e) {
       print_error(id, e.what());

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "nn/optim.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "runtime/profiler.h"
 #include "util/stats.h"
 
@@ -112,11 +114,15 @@ HwGenEval train_hwgen_net(HwGenNet& net, const EvaluatorDataset& train,
   nn::Sgd optimizer(net.parameters(), sgd_opts);
   const nn::StepSchedule schedule(opts.lr, 0.1F, std::max(1, opts.epochs / 4));
 
+  obs::Gauge& loss_gauge = obs::Registry::global().gauge("evalnet.hwgen.loss");
   const int n = static_cast<int>(train.samples.size());
   net.set_training(true);
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("evalnet.hwgen.epoch");
     optimizer.set_lr(schedule.lr(epoch));
     const auto perm = rng.permutation(n);
+    double loss_sum = 0.0;
+    int steps = 0;
     for (int start = 0; start < n; start += opts.batch_size) {
       DANCE_PROFILE_SCOPE("evalnet.hwgen.step");
       const int stop = std::min(n, start + opts.batch_size);
@@ -131,10 +137,13 @@ HwGenEval train_hwgen_net(HwGenNet& net, const EvaluatorDataset& train,
             ops::slice_cols(lg, begin, end), head_labels(train, idx, head));
         loss = head == 0 ? head_loss : ops::add(loss, head_loss);
       }
+      loss_sum += loss.value()[0];
+      ++steps;
       optimizer.zero_grad();
       loss.backward();
       optimizer.step();
     }
+    if (steps > 0) loss_gauge.set(loss_sum / steps);
     if (opts.verbose && (epoch + 1) % 10 == 0) {
       const auto e = evaluate_hwgen_net(net, val);
       std::printf("[hwgen] epoch %3d acc PEX=%.1f PEY=%.1f RF=%.1f DF=%.1f\n",
@@ -193,11 +202,15 @@ CostEval train_cost_net(CostNet& net, const EvaluatorDataset& train,
   // Cosine decay to a small floor stabilizes the tail of the fit.
   const nn::CosineSchedule schedule(opts.lr, opts.epochs + opts.epochs / 4 + 1);
 
+  obs::Gauge& loss_gauge = obs::Registry::global().gauge("evalnet.cost.loss");
   const int n = static_cast<int>(train.samples.size());
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("evalnet.cost.epoch");
     optimizer.set_lr(schedule.lr(epoch));
     net.set_training(true);
     const auto perm = rng.permutation(n);
+    double loss_sum = 0.0;
+    int steps = 0;
     for (int start = 0; start < n; start += opts.batch_size) {
       DANCE_PROFILE_SCOPE("evalnet.cost.step");
       const int stop = std::min(n, start + opts.batch_size);
@@ -208,10 +221,13 @@ CostEval train_cost_net(CostNet& net, const EvaluatorDataset& train,
                                                    : Variable{};
       const Variable pred = net.forward(x, hw);
       const Variable loss = ops::msre(pred, batch_metrics(train, idx));
+      loss_sum += loss.value()[0];
+      ++steps;
       optimizer.zero_grad();
       loss.backward();
       optimizer.step();
     }
+    if (steps > 0) loss_gauge.set(loss_sum / steps);
     if (opts.verbose && (epoch + 1) % 10 == 0) {
       const auto e = evaluate_cost_net(net, val);
       std::printf("[cost] epoch %3d acc lat=%.1f en=%.1f area=%.1f\n", epoch + 1,

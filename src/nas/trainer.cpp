@@ -1,6 +1,8 @@
 #include "nas/trainer.h"
 
 #include "nn/optim.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "runtime/profiler.h"
 #include "util/stats.h"
 
@@ -43,10 +45,14 @@ FixedTrainResult train_fixed_net(FixedNet& net, const data::SyntheticTask& task,
   nn::Sgd optimizer(net.parameters(), sgd);
   const nn::CosineSchedule schedule(opts.lr, opts.epochs);
 
+  obs::Gauge& loss_gauge = obs::Registry::global().gauge("nas.fixed.loss");
   const int n = task.train.size();
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("nas.fixed.epoch");
     optimizer.set_lr(schedule.lr(epoch));
     const auto perm = rng.permutation(n);
+    double loss_sum = 0.0;
+    int steps = 0;
     for (int start = 0; start < n; start += opts.batch_size) {
       DANCE_PROFILE_SCOPE("nas.fixed.step");
       const int stop = std::min(n, start + opts.batch_size);
@@ -54,10 +60,13 @@ FixedTrainResult train_fixed_net(FixedNet& net, const data::SyntheticTask& task,
       auto [bx, by] = task.train.batch(idx);
       const Variable logits = net.forward(Variable(std::move(bx)));
       const Variable loss = ops::cross_entropy(logits, by);
+      loss_sum += loss.value()[0];
+      ++steps;
       optimizer.zero_grad();
       loss.backward();
       optimizer.step();
     }
+    if (steps > 0) loss_gauge.set(loss_sum / steps);
   }
   FixedTrainResult result;
   const auto fwd = [&net](const Variable& x) {

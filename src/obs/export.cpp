@@ -1,0 +1,240 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "obs/registry.h"
+#include "obs/span.h"
+
+namespace dance::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// JSON has no NaN/Inf literals; non-finite values become null.
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (the dots in
+/// registry names, mostly) maps to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "dance_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string build_info_json() {
+  std::string out = "  \"build\": {\n    \"compiler\": ";
+#if defined(__VERSION__)
+  append_escaped(out, __VERSION__);
+#else
+  out += "\"unknown\"";
+#endif
+  out += ",\n    \"standard\": ";
+  append_u64(out, static_cast<std::uint64_t>(__cplusplus));
+  out += ",\n    \"assertions\": ";
+#if defined(NDEBUG)
+  out += "false";
+#else
+  out += "true";
+#endif
+  out += ",\n    \"sanitizers\": \"";
+#if defined(__SANITIZE_THREAD__)
+  out += "thread";
+#elif defined(__SANITIZE_ADDRESS__)
+  out += "address";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  out += "thread";
+#elif __has_feature(address_sanitizer)
+  out += "address";
+#else
+  out += "none";
+#endif
+#else
+  out += "none";
+#endif
+  out += "\"\n  }";
+  return out;
+}
+
+}  // namespace
+
+std::string export_json() {
+  const Registry::Snapshot snap = Registry::global().snapshot();
+  const std::vector<SpanRecord> spans = recent_spans();
+
+  std::string out = "{\n";
+  out += build_info_json();
+  out += ",\n  \"config\": {";
+  for (std::size_t i = 0; i < snap.env.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    append_escaped(out, snap.env[i].first);
+    out += ": {\"value\": ";
+    append_escaped(out, snap.env[i].second.value);
+    out += ", \"source\": ";
+    out += snap.env[i].second.from_env ? "\"env\"" : "\"default\"";
+    out += "}";
+  }
+  out += "\n  },\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    append_escaped(out, snap.counters[i].first);
+    out += ": ";
+    append_u64(out, snap.counters[i].second);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    append_escaped(out, snap.gauges[i].first);
+    out += ": ";
+    append_number(out, snap.gauges[i].second);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& [name, h] = snap.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    append_escaped(out, name);
+    out += ": {\"count\": ";
+    append_u64(out, h.count);
+    out += ", \"sum\": ";
+    append_number(out, h.sum);
+    out += ", \"min\": ";
+    append_number(out, h.min);
+    out += ", \"max\": ";
+    append_number(out, h.max);
+    out += ", \"p50\": ";
+    append_number(out, h.p50);
+    out += ", \"p95\": ";
+    append_number(out, h.p95);
+    out += ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b != 0) out += ", ";
+      out += "{\"le\": ";
+      if (b < h.bounds.size()) {
+        append_number(out, h.bounds[b]);
+      } else {
+        out += "\"+Inf\"";
+      }
+      out += ", \"count\": ";
+      append_u64(out, h.buckets[b]);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "\n  },\n  \"spans\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_escaped(out, s.name);
+    out += ", \"id\": ";
+    append_u64(out, s.id);
+    out += ", \"parent\": ";
+    append_u64(out, s.parent);
+    out += ", \"start_ms\": ";
+    append_number(out, s.start_ms);
+    out += ", \"dur_ms\": ";
+    append_number(out, s.dur_ms);
+    out += ", \"thread\": ";
+    append_u64(out, s.thread);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string export_prometheus() {
+  const Registry::Snapshot snap = Registry::global().snapshot();
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    std::snprintf(line, sizeof(line), "%s %llu\n", p.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    std::snprintf(line, sizeof(line), "%s %.9g\n", p.c_str(), value);
+    out += line;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b < h.bounds.size()) {
+        std::snprintf(line, sizeof(line), "%s_bucket{le=\"%.9g\"} %llu\n",
+                      p.c_str(), h.bounds[b],
+                      static_cast<unsigned long long>(h.buckets[b]));
+      } else {
+        std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %llu\n",
+                      p.c_str(),
+                      static_cast<unsigned long long>(h.buckets[b]));
+      }
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "%s_sum %.9g\n", p.c_str(), h.sum);
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_count %llu\n", p.c_str(),
+                  static_cast<unsigned long long>(h.count));
+    out += line;
+  }
+  return out;
+}
+
+bool write_json_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = export_json();
+  const bool wrote = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+}  // namespace dance::obs

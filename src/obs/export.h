@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+namespace dance::obs {
+
+/// One self-contained JSON document: build info, the effective configuration
+/// (every env knob read through util::env), all counters/gauges/histograms,
+/// and the recent spans of every thread. Keys are sorted, output is valid
+/// JSON (python3 -m json.tool clean), and the document is safe to diff
+/// between runs.
+[[nodiscard]] std::string export_json();
+
+/// Prometheus text exposition format (version 0.0.4): counters, gauges and
+/// histograms with cumulative `le` buckets, `_sum` and `_count`. Instrument
+/// names are prefixed with `dance_` and dots become underscores.
+[[nodiscard]] std::string export_prometheus();
+
+/// Write export_json() to `path`; false (with no throw) on I/O failure.
+/// This is what the DANCE_METRICS_JSON at-exit hook calls.
+bool write_json_file(const std::string& path);
+
+}  // namespace dance::obs

@@ -1,0 +1,129 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace dance::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point anchor() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+/// Per-thread ring of completed spans. Registered in a global list at first
+/// use and kept alive by shared_ptr after the thread exits, so spans survive
+/// into the end-of-process export.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<SpanRecord> ring;
+  std::size_t next = 0;
+  std::uint32_t thread_index = 0;
+
+  void push(SpanRecord record) {
+    std::lock_guard<std::mutex> lk(mu);
+    record.thread = thread_index;
+    if (ring.size() < kSpanRingCap) {
+      ring.push_back(std::move(record));
+    } else {
+      ring[next] = std::move(record);
+      next = (next + 1) % kSpanRingCap;
+    }
+  }
+};
+
+struct BufferDirectory {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_thread_index = 0;
+};
+
+BufferDirectory& directory() {
+  // Leaked: thread_local destructors and atexit exporters may outlive any
+  // static destruction order we could otherwise guarantee.
+  static BufferDirectory* d = new BufferDirectory();
+  return *d;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferDirectory& dir = directory();
+    std::lock_guard<std::mutex> lk(dir.mu);
+    b->thread_index = dir.next_thread_index++;
+    dir.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+// The innermost live span on this thread; children link to it as parent.
+thread_local std::uint64_t tl_current_span = 0;
+
+}  // namespace
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - anchor())
+      .count();
+}
+
+ScopedSpan::ScopedSpan(std::string name)
+    : name_(std::move(name)),
+      id_(g_next_span_id.fetch_add(1, std::memory_order_relaxed)),
+      parent_(tl_current_span),
+      start_ms_(now_ms()) {
+  tl_current_span = id_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  tl_current_span = parent_;
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.id = id_;
+  record.parent = parent_;
+  record.start_ms = start_ms_;
+  record.dur_ms = now_ms() - start_ms_;
+  local_buffer().push(std::move(record));
+}
+
+std::vector<SpanRecord> recent_spans() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    BufferDirectory& dir = directory();
+    std::lock_guard<std::mutex> lk(dir.mu);
+    buffers = dir.buffers;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lk(buf->mu);
+    out.insert(out.end(), buf->ring.begin(), buf->ring.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_ms < b.start_ms;
+                   });
+  return out;
+}
+
+void clear_spans() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    BufferDirectory& dir = directory();
+    std::lock_guard<std::mutex> lk(dir.mu);
+    buffers = dir.buffers;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lk(buf->mu);
+    buf->ring.clear();
+    buf->next = 0;
+  }
+}
+
+}  // namespace dance::obs

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dance::obs {
+
+/// Completed spans retained per thread. Old spans are overwritten ring-style,
+/// so the export always shows the most recent activity of every thread.
+inline constexpr std::size_t kSpanRingCap = 512;
+
+/// One completed trace span. Times are milliseconds since the process trace
+/// anchor (the first obs use in the process), so spans from different
+/// threads order on one shared axis.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t id = 0;      ///< process-unique, 1-based
+  std::uint64_t parent = 0;  ///< enclosing span's id; 0 for a root span
+  double start_ms = 0.0;
+  double dur_ms = 0.0;
+  std::uint32_t thread = 0;  ///< small per-thread index, stable per thread
+};
+
+/// RAII trace span. Construction stamps the start and pushes this span as
+/// the thread's current parent; destruction stamps the duration and commits
+/// the record to the thread's ring buffer. Spans therefore nest naturally:
+/// any span opened while another is alive on the same thread records it as
+/// its parent. Cost when no exporter ever runs: one clock read each way and
+/// one buffered record — cheap enough for per-epoch and per-request scopes,
+/// not meant for per-element inner loops (use DANCE_PROFILE_SCOPE there).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  std::string name_;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  double start_ms_ = 0.0;
+};
+
+/// Every retained span from every thread (including exited threads), sorted
+/// by start time. Thread-safe snapshot.
+[[nodiscard]] std::vector<SpanRecord> recent_spans();
+
+/// Drop all retained spans (buffers stay registered; in-flight ScopedSpans
+/// still commit on destruction).
+void clear_spans();
+
+/// Milliseconds since the process trace anchor (test/diagnostic hook; spans
+/// use this clock internally).
+[[nodiscard]] double now_ms();
+
+}  // namespace dance::obs

@@ -2,36 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdio>
-#include <cstdlib>
-#include <map>
-#include <mutex>
-#include <vector>
 
-#include "util/stats.h"
+#include "obs/registry.h"
+#include "util/env.h"
+#include "util/table.h"
 
 namespace dance::runtime {
 
 namespace {
 
-std::atomic<bool> g_enabled{[] {
-  const char* env = std::getenv("DANCE_PROFILE");
-  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
-}()};
+std::atomic<bool> g_enabled{util::env_bool("DANCE_PROFILE", false)};
 
-/// Aggregate plus the bounded sample ring the percentile columns come from.
-struct OpEntry {
-  OpStats stats;
-  std::vector<double> samples;     ///< at most kProfilerSampleCap entries
-  std::size_t next_sample = 0;     ///< ring write cursor once full
-};
-
-std::mutex g_mu;
-// std::map keeps the registry ordered so equal-total ties report stably.
-std::map<std::string, OpEntry>& registry() {
-  static std::map<std::string, OpEntry> r;
-  return r;
-}
+static_assert(kProfilerSampleCap == obs::kHistogramSampleCap,
+              "profiler percentile semantics are defined by the obs ring cap");
 
 }  // namespace
 
@@ -42,33 +25,28 @@ void set_profiling_enabled(bool enabled) {
 }
 
 void profiler_record(const char* name, double ms) {
-  std::lock_guard<std::mutex> lk(g_mu);
-  OpEntry& e = registry()[name];
-  OpStats& s = e.stats;
-  if (s.calls == 0 || ms < s.min_ms) s.min_ms = ms;
-  if (ms > s.max_ms) s.max_ms = ms;
-  ++s.calls;
-  s.total_ms += ms;
-  if (e.samples.size() < kProfilerSampleCap) {
-    e.samples.push_back(ms);
-  } else {
-    e.samples[e.next_sample] = ms;
-    e.next_sample = (e.next_sample + 1) % kProfilerSampleCap;
-  }
+  obs::Registry::global()
+      .histogram(std::string(kProfilerMetricPrefix) + name)
+      .observe(ms);
 }
 
 std::vector<std::pair<std::string, OpStats>> profiler_snapshot() {
+  const std::string prefix = kProfilerMetricPrefix;
   std::vector<std::pair<std::string, OpStats>> out;
-  {
-    std::lock_guard<std::mutex> lk(g_mu);
-    out.reserve(registry().size());
-    for (const auto& [name, entry] : registry()) {
-      OpStats s = entry.stats;
-      s.p50_ms = util::percentile(entry.samples, 50.0);
-      s.p95_ms = util::percentile(entry.samples, 95.0);
-      out.emplace_back(name, s);
-    }
+  const obs::Registry::Snapshot reg = obs::Registry::global().snapshot();
+  for (const auto& [name, h] : reg.histograms) {
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (h.count == 0) continue;  // registered but idle (or reset)
+    OpStats s;
+    s.calls = h.count;
+    s.total_ms = h.sum;
+    s.min_ms = h.min;
+    s.max_ms = h.max;
+    s.p50_ms = h.p50;
+    s.p95_ms = h.p95;
+    out.emplace_back(name.substr(prefix.size()), s);
   }
+  // The registry snapshot is name-sorted, so equal-total ties stay stable.
   std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.second.total_ms > b.second.total_ms;
   });
@@ -76,34 +54,27 @@ std::vector<std::pair<std::string, OpStats>> profiler_snapshot() {
 }
 
 void profiler_reset() {
-  std::lock_guard<std::mutex> lk(g_mu);
-  registry().clear();
+  obs::Registry::global().reset_prefix(kProfilerMetricPrefix);
 }
 
 std::string profiler_report() {
   const auto snap = profiler_snapshot();
   if (snap.empty()) return {};
-  std::size_t name_w = 4;  // "op"
-  for (const auto& [name, stats] : snap) name_w = std::max(name_w, name.size());
-  std::string out;
-  char line[320];
-  std::snprintf(line, sizeof(line),
-                "%-*s %10s %12s %10s %10s %10s %10s %10s\n",
-                static_cast<int>(name_w), "op", "calls", "total_ms", "mean_ms",
-                "p50_ms", "p95_ms", "min_ms", "max_ms");
-  out += line;
-  out.append(name_w + 80, '-');
-  out += '\n';
+  util::Table table({"op", "calls", "total_ms", "mean_ms", "p50_ms", "p95_ms",
+                     "min_ms", "max_ms"});
+  using Align = util::Table::Align;
+  table.set_align({Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight, Align::kRight, Align::kRight});
   for (const auto& [name, stats] : snap) {
-    std::snprintf(line, sizeof(line),
-                  "%-*s %10llu %12.3f %10.4f %10.4f %10.4f %10.4f %10.4f\n",
-                  static_cast<int>(name_w), name.c_str(),
-                  static_cast<unsigned long long>(stats.calls), stats.total_ms,
-                  stats.mean_ms(), stats.p50_ms, stats.p95_ms, stats.min_ms,
-                  stats.max_ms);
-    out += line;
+    table.add_row({name, std::to_string(stats.calls),
+                   util::Table::fmt(stats.total_ms, 3),
+                   util::Table::fmt(stats.mean_ms(), 4),
+                   util::Table::fmt(stats.p50_ms, 4),
+                   util::Table::fmt(stats.p95_ms, 4),
+                   util::Table::fmt(stats.min_ms, 4),
+                   util::Table::fmt(stats.max_ms, 4)});
   }
-  return out;
+  return table.to_string(util::Table::Style::plain());
 }
 
 }  // namespace dance::runtime

@@ -8,10 +8,12 @@
 
 namespace dance::runtime {
 
-/// Aggregated wall-clock statistics for one op name. The percentiles are
-/// computed at snapshot time from a bounded ring of the most recent samples
-/// (see kProfilerSampleCap), so they describe the recent distribution rather
-/// than the full history when an op is called more often than the cap.
+/// Aggregated wall-clock statistics for one op name, read back from the
+/// op's histogram in the obs registry (family "runtime.op_ms.<name>"). The
+/// percentiles are computed at snapshot time from a bounded ring of the most
+/// recent samples (see kProfilerSampleCap), so they describe the recent
+/// distribution rather than the full history when an op is called more often
+/// than the cap.
 struct OpStats {
   std::uint64_t calls = 0;
   double total_ms = 0.0;
@@ -25,8 +27,14 @@ struct OpStats {
   }
 };
 
-/// Per-op samples retained for the percentile columns.
+/// Per-op samples retained for the percentile columns. Kept equal to
+/// obs::kHistogramSampleCap: the profiler's storage IS the obs registry, so
+/// the ring semantics are shared with every other histogram in the process.
 inline constexpr std::size_t kProfilerSampleCap = 4096;
+
+/// Registry name prefix of the profiler's histogram family: the op "foo.bar"
+/// lives at "runtime.op_ms.foo.bar" in obs::Registry::global().
+inline constexpr const char* kProfilerMetricPrefix = "runtime.op_ms.";
 
 /// Whether ScopedTimer records anything. Compiled in unconditionally but off
 /// by default; flipped at runtime via set_profiling_enabled() or by setting
@@ -34,17 +42,20 @@ inline constexpr std::size_t kProfilerSampleCap = 4096;
 [[nodiscard]] bool profiling_enabled();
 void set_profiling_enabled(bool enabled);
 
-/// Add one timed call to the aggregate for `name`. Thread-safe.
+/// Add one timed call to the aggregate for `name` (an observe() on the op's
+/// registry histogram). Thread-safe.
 void profiler_record(const char* name, double ms);
 
-/// All aggregates, sorted by total time descending. Thread-safe snapshot.
+/// All aggregates with at least one call, sorted by total time descending.
+/// Thread-safe snapshot of the registry's runtime.op_ms.* family.
 [[nodiscard]] std::vector<std::pair<std::string, OpStats>> profiler_snapshot();
 
-/// Drop all aggregates.
+/// Zero all aggregates (registry histograms under runtime.op_ms.*).
 void profiler_reset();
 
-/// Fixed-width text table of the snapshot (name, calls, total, mean,
-/// min, max), ready to print. Empty string when nothing was recorded.
+/// Fixed-width text table of the snapshot (name, calls, total, mean, p50,
+/// p95, min, max), rendered through util::Table like the serve stats report.
+/// Empty string when nothing was recorded.
 [[nodiscard]] std::string profiler_report();
 
 /// RAII wall-clock scope. When profiling is disabled the constructor is a

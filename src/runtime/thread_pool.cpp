@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/env.h"
+
 namespace dance::runtime {
 
 namespace {
@@ -111,10 +113,10 @@ void ThreadPool::run(long begin, long end, long grain, RangeFn fn, void* ctx) {
 }
 
 int default_num_threads() {
-  if (const char* env = std::getenv("DANCE_NUM_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<int>(std::min<long>(v, 1024));
-  }
+  // Fallback 0 is deliberately out of range: "unset or invalid" falls
+  // through to the hardware default below.
+  const int v = util::env_int("DANCE_NUM_THREADS", 0, 1, 1024);
+  if (v >= 1) return v;
   return static_cast<int>(std::max(1U, std::thread::hardware_concurrency()));
 }
 

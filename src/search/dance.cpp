@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "nn/optim.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "runtime/profiler.h"
 
 namespace dance::search {
@@ -23,6 +25,7 @@ DanceSearch::DanceSearch(const data::SyntheticTask& task,
       opts_(opts) {}
 
 SearchOutcome DanceSearch::run() {
+  obs::ScopedSpan run_span("dance.run");
   const auto t_start = std::chrono::steady_clock::now();
   util::Rng rng(opts_.seed);
 
@@ -51,11 +54,17 @@ SearchOutcome DanceSearch::run() {
                             opts_.warmup_epochs,
                             std::max(1, opts_.search_epochs / 6));
 
+  obs::Gauge& lambda2_gauge = obs::Registry::global().gauge("dance.lambda2");
+  obs::Gauge& loss_gauge = obs::Registry::global().gauge("dance.arch_loss");
   const int n = task_.train.size();
   const int period = std::max(1, opts_.arch_update_period);
   for (int epoch = 0; epoch < opts_.search_epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("dance.epoch");
     weight_opt.set_lr(weight_schedule.lr(epoch));
     const float lambda2 = warmup.value(epoch);
+    lambda2_gauge.set(lambda2);
+    double arch_loss_sum = 0.0;
+    int arch_steps = 0;
     const auto perm = rng.permutation(n);
     int batch_index = 0;
     for (int start = 0; start < n; start += opts_.batch_size, ++batch_index) {
@@ -104,12 +113,15 @@ SearchOutcome DanceSearch::run() {
                                                  opts_.linear_weights);
           loss = ops::add(loss, ops::sum_all(ops::scale(cost, lambda2)));
         }
+        arch_loss_sum += loss.value()[0];
+        ++arch_steps;
         arch_opt.zero_grad();
         for (auto& w : supernet.weight_parameters()) w.zero_grad();
         loss.backward();
         arch_opt.step();
       }
     }
+    if (arch_steps > 0) loss_gauge.set(arch_loss_sum / arch_steps);
     if (opts_.verbose) {
       const auto a = supernet.derive();
       std::printf("[dance] epoch %2d lambda2=%.3f macs=%lld\n", epoch + 1,
@@ -126,6 +138,10 @@ SearchOutcome DanceSearch::run() {
   outcome.search_seconds =
       std::chrono::duration<double>(t_end - t_start).count();
   outcome.trained_candidates = 1;  // the defining property of DANCE
+  obs::Registry::global().gauge("dance.macs").set(static_cast<double>(
+      cost_table_.arch_space().macs(outcome.architecture)));
+  obs::Registry::global().gauge("dance.search_seconds")
+      .set(outcome.search_seconds);
 
   // One-time exact hardware generation after the search (§4.3).
   {

@@ -7,7 +7,12 @@
 namespace dance::serve {
 
 MicroBatcher::MicroBatcher(CostQueryBackend& backend, Options opts)
-    : backend_(backend), opts_(opts) {
+    : backend_(backend),
+      opts_(opts),
+      obs_requests_(obs::Registry::global().counter("serve.batch.requests")),
+      obs_batches_(obs::Registry::global().counter("serve.batch.executed")),
+      obs_batch_size_(obs::Registry::global().histogram(
+          "serve.batch.size", {1, 2, 4, 8, 16, 32, 64, 128, 256})) {
   if (opts_.max_batch > 1) {
     if (opts_.max_wait_us < 0) opts_.max_wait_us = 0;
     worker_ = std::thread([this] { drain_loop(); });
@@ -30,10 +35,7 @@ Response MicroBatcher::query(const Request& request) {
     // Inline mode: no worker, no future — the caller runs the backend.
     const Request* ptr = &request;
     auto responses = backend_.query_batch({ptr, 1});
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    ++stats_.requests;
-    ++stats_.batches;
-    stats_.max_batch_seen = std::max<std::uint64_t>(stats_.max_batch_seen, 1);
+    count_batch(1);
     return responses.front();
   }
 
@@ -59,21 +61,31 @@ std::vector<Response> MicroBatcher::query_span(
   for (std::size_t i = 0; i < requests.size(); i += step) {
     const std::size_t n = std::min(step, requests.size() - i);
     auto chunk = backend_.query_batch(requests.subspan(i, n));
-    {
-      std::lock_guard<std::mutex> lk(stats_mu_);
-      stats_.requests += n;
-      ++stats_.batches;
-      stats_.max_batch_seen = std::max(stats_.max_batch_seen,
-                                       static_cast<std::uint64_t>(n));
-    }
+    count_batch(n);
     out.insert(out.end(), chunk.begin(), chunk.end());
   }
   return out;
 }
 
 MicroBatcher::Stats MicroBatcher::stats() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
-  return stats_;
+  Stats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void MicroBatcher::count_batch(std::size_t n) {
+  const auto sz = static_cast<std::uint64_t>(n);
+  requests_.fetch_add(sz, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = max_batch_seen_.load(std::memory_order_relaxed);
+  while (seen < sz && !max_batch_seen_.compare_exchange_weak(
+                          seen, sz, std::memory_order_relaxed)) {
+  }
+  obs_requests_.inc(sz);
+  obs_batches_.inc();
+  obs_batch_size_.observe(static_cast<double>(sz));
 }
 
 void MicroBatcher::drain_loop() {
@@ -109,15 +121,11 @@ void MicroBatcher::execute(std::vector<Pending> batch) {
   std::vector<Request> requests;
   requests.reserve(batch.size());
   for (const Pending& p : batch) requests.push_back(*p.request);
-  // Count the batch before fulfilling any promise: a caller that has observed
-  // its own response must also observe this batch in stats().
-  {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    stats_.requests += batch.size();
-    ++stats_.batches;
-    stats_.max_batch_seen = std::max(stats_.max_batch_seen,
-                                     static_cast<std::uint64_t>(batch.size()));
-  }
+  // Count the batch before fulfilling any promise: the promise/future pair
+  // synchronizes-with the waiting caller, so a caller that has observed its
+  // own response also observes this batch in stats() despite the relaxed
+  // counter updates.
+  count_batch(batch.size());
   try {
     auto responses = backend_.query_batch(requests);
     for (std::size_t i = 0; i < batch.size(); ++i) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -8,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.h"
 #include "serve/backend.h"
 
 namespace dance::serve {
@@ -36,7 +38,9 @@ class MicroBatcher {
     long max_wait_us = 200;    ///< deadline trigger for partial batches
   };
 
-  /// Counters for the stats report.
+  /// Per-instance counters for the stats report. The same events also feed
+  /// the process-global obs counters serve.batch.{requests,executed} and the
+  /// serve.batch.size histogram used by the exporters.
   struct Stats {
     std::uint64_t requests = 0;
     std::uint64_t batches = 0;
@@ -79,6 +83,11 @@ class MicroBatcher {
   void drain_loop();
   void execute(std::vector<Pending> batch);
 
+  /// Record one executed batch of `n` requests (instance atomics + the
+  /// process-global obs instruments). Called before promises are fulfilled
+  /// so a caller that observed its response also observes the batch.
+  void count_batch(std::size_t n);
+
   CostQueryBackend& backend_;
   Options opts_;
 
@@ -88,8 +97,13 @@ class MicroBatcher {
   std::chrono::steady_clock::time_point oldest_enqueue_{};
   bool stop_ = false;
 
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  // Lock-free per-instance counters; stats() assembles a Stats from these.
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> max_batch_seen_{0};
+  obs::Counter& obs_requests_;
+  obs::Counter& obs_batches_;
+  obs::Histogram& obs_batch_size_;
 
   std::thread worker_;  ///< last member: joins cleanly before state dies
 };

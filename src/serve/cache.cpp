@@ -5,7 +5,10 @@
 
 namespace dance::serve {
 
-ShardedLruCache::ShardedLruCache(std::size_t capacity, int num_shards) {
+ShardedLruCache::ShardedLruCache(std::size_t capacity, int num_shards)
+    : obs_hits_(obs::Registry::global().counter("serve.cache.hits")),
+      obs_misses_(obs::Registry::global().counter("serve.cache.misses")),
+      obs_evictions_(obs::Registry::global().counter("serve.cache.evictions")) {
   capacity_ = std::max<std::size_t>(1, capacity);
   const std::size_t shards = std::clamp<std::size_t>(
       num_shards < 1 ? 1 : static_cast<std::size_t>(num_shards), 1, capacity_);
@@ -22,9 +25,11 @@ std::optional<Response> ShardedLruCache::get(const Key& key) {
   const auto it = s.map.find(key);
   if (it == s.map.end()) {
     ++s.misses;
+    obs_misses_.inc();
     return std::nullopt;
   }
   ++s.hits;
+  obs_hits_.inc();
   // Refresh recency: splice the node to the front without reallocating.
   s.lru.splice(s.lru.begin(), s.lru, it->second);
   return it->second->second;
@@ -45,6 +50,7 @@ void ShardedLruCache::put(const Key& key, const Response& response) {
     s.map.erase(s.lru.back().first);
     s.lru.pop_back();
     ++s.evictions;
+    obs_evictions_.inc();
   }
 }
 

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.h"
 #include "serve/types.h"
 
 namespace dance::serve {
@@ -29,7 +30,10 @@ class ShardedLruCache {
  public:
   using Key = std::vector<float>;
 
-  /// Aggregate hit/miss/eviction counters across all shards.
+  /// Aggregate hit/miss/eviction counters across all shards, for THIS cache
+  /// instance. The same events also feed the process-global obs counters
+  /// serve.cache.{hits,misses,evictions}, which is what the JSON/Prometheus
+  /// exporters report.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -81,6 +85,12 @@ class ShardedLruCache {
   std::size_t capacity_ = 0;
   std::size_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Process-global counters (obs registry instruments are never destroyed,
+  // so caching the references is safe and keeps the hot path lock-free).
+  obs::Counter& obs_hits_;
+  obs::Counter& obs_misses_;
+  obs::Counter& obs_evictions_;
 };
 
 }  // namespace dance::serve

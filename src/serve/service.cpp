@@ -1,11 +1,11 @@
 #include "serve/service.h"
 
-#include <cstdio>
-#include <cstdlib>
 #include <unordered_map>
 #include <utility>
 
+#include "util/env.h"
 #include "util/stats.h"
+#include "util/table.h"
 
 namespace dance::serve {
 
@@ -13,37 +13,27 @@ namespace {
 
 constexpr std::size_t kLatencySampleCap = 1 << 16;
 
-/// Parses env var `name` as a long; returns `fallback` when unset or when
-/// the value does not parse as an integer >= `min_value`.
-long env_long(const char* name, long fallback, long min_value) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  const long v = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || v < min_value) return fallback;
-  return v;
-}
-
 }  // namespace
 
 Service::Options Service::Options::from_env() {
   Options opts;
-  opts.cache_capacity = static_cast<std::size_t>(env_long(
+  opts.cache_capacity = static_cast<std::size_t>(util::env_long(
       "DANCE_SERVE_CACHE_CAP", static_cast<long>(opts.cache_capacity), 1));
-  opts.cache_shards =
-      static_cast<int>(env_long("DANCE_SERVE_SHARDS", opts.cache_shards, 1));
-  if (const char* env = std::getenv("DANCE_SERVE_CACHE")) {
-    opts.enable_cache = !(env[0] == '0' && env[1] == '\0');
-  }
-  opts.batch.max_batch = static_cast<int>(
-      env_long("DANCE_SERVE_MAX_BATCH", opts.batch.max_batch, 1));
+  opts.cache_shards = util::env_int("DANCE_SERVE_SHARDS", opts.cache_shards, 1);
+  opts.enable_cache = util::env_bool("DANCE_SERVE_CACHE", opts.enable_cache);
+  opts.batch.max_batch =
+      util::env_int("DANCE_SERVE_MAX_BATCH", opts.batch.max_batch, 1);
   opts.batch.max_wait_us =
-      env_long("DANCE_SERVE_MAX_WAIT_US", opts.batch.max_wait_us, 0);
+      util::env_long("DANCE_SERVE_MAX_WAIT_US", opts.batch.max_wait_us, 0);
   return opts;
 }
 
 Service::Service(CostQueryBackend& backend, Options opts)
-    : opts_(opts), batcher_(backend, opts.batch) {
+    : opts_(opts),
+      batcher_(backend, opts.batch),
+      obs_queries_(obs::Registry::global().counter("serve.queries")),
+      obs_latency_us_(obs::Registry::global().histogram(
+          "serve.latency_us", obs::default_latency_bounds_us())) {
   if (opts_.enable_cache) {
     cache_ = std::make_unique<ShardedLruCache>(opts_.cache_capacity,
                                                opts_.cache_shards);
@@ -134,6 +124,8 @@ std::vector<Response> Service::query_many(std::span<const Request> requests) {
 }
 
 void Service::record_latency_us(double us) {
+  obs_queries_.inc();
+  obs_latency_us_.observe(us);
   std::lock_guard<std::mutex> lk(stats_mu_);
   ++queries_;
   if (latency_ring_.size() < kLatencySampleCap) {
@@ -165,31 +157,24 @@ ServiceStats Service::stats() const {
 
 std::string Service::stats_report() const {
   const ServiceStats s = stats();
-  std::string out;
-  char line[160];
-  std::snprintf(line, sizeof(line), "[serve] %llu queries in %.3f s (%.0f QPS)\n",
-                static_cast<unsigned long long>(s.queries), s.window_seconds,
-                s.qps);
-  out += line;
-  std::snprintf(line, sizeof(line),
-                "[serve] cache: %llu hits / %llu misses (%.1f%% hit rate), "
-                "%zu/%zu entries, %llu evictions\n",
-                static_cast<unsigned long long>(s.cache.hits),
-                static_cast<unsigned long long>(s.cache.misses),
-                100.0 * s.cache.hit_rate(), s.cache.entries, s.cache.capacity,
-                static_cast<unsigned long long>(s.cache.evictions));
-  out += line;
-  std::snprintf(line, sizeof(line),
-                "[serve] batches: %llu (mean %.1f, max %llu per batch)\n",
-                static_cast<unsigned long long>(s.batcher.batches),
-                s.batcher.mean_batch(),
-                static_cast<unsigned long long>(s.batcher.max_batch_seen));
-  out += line;
-  std::snprintf(line, sizeof(line),
-                "[serve] latency: p50 %.1f us, p95 %.1f us\n", s.p50_us,
-                s.p95_us);
-  out += line;
-  return out;
+  util::Table table({"metric", "value"});
+  using Align = util::Table::Align;
+  table.set_align({Align::kLeft, Align::kRight});
+  table.add_row({"queries", std::to_string(s.queries)});
+  table.add_row({"window s", util::Table::fmt(s.window_seconds, 3)});
+  table.add_row({"QPS", util::Table::fmt(s.qps, 0)});
+  table.add_row({"cache hits", std::to_string(s.cache.hits)});
+  table.add_row({"cache misses", std::to_string(s.cache.misses)});
+  table.add_row({"hit rate %", util::Table::fmt(100.0 * s.cache.hit_rate(), 1)});
+  table.add_row({"cache entries", std::to_string(s.cache.entries) + "/" +
+                                      std::to_string(s.cache.capacity)});
+  table.add_row({"evictions", std::to_string(s.cache.evictions)});
+  table.add_row({"batches", std::to_string(s.batcher.batches)});
+  table.add_row({"mean batch", util::Table::fmt(s.batcher.mean_batch(), 1)});
+  table.add_row({"max batch", std::to_string(s.batcher.max_batch_seen)});
+  table.add_row({"latency p50 us", util::Table::fmt(s.p50_us, 1)});
+  table.add_row({"latency p95 us", util::Table::fmt(s.p95_us, 1)});
+  return table.to_string(util::Table::Style::plain());
 }
 
 void Service::reset_stats() {

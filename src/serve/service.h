@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.h"
 #include "serve/batcher.h"
 #include "serve/cache.h"
 
@@ -51,7 +52,8 @@ class Service {
 
     /// Defaults overridden by any DANCE_SERVE_* variables that parse as a
     /// positive integer (DANCE_SERVE_MAX_WAIT_US accepts 0); garbage values
-    /// are ignored.
+    /// are ignored. Reads go through util::env, so every knob is recorded in
+    /// the obs registry with its effective value.
     [[nodiscard]] static Options from_env();
   };
 
@@ -74,7 +76,8 @@ class Service {
 
   [[nodiscard]] ServiceStats stats() const;
   /// Fixed-width text block (QPS, hit rate, batch shape, p50/p95), ready to
-  /// print; mirrors runtime::profiler_report's style.
+  /// print; rendered through the same util::Table formatter as
+  /// runtime::profiler_report.
   [[nodiscard]] std::string stats_report() const;
   /// Restarts the stats window and latency samples (cache contents and
   /// cache/batcher lifetime counters are preserved).
@@ -95,6 +98,11 @@ class Service {
   std::vector<double> latency_ring_;
   std::size_t latency_next_ = 0;
   std::chrono::steady_clock::time_point window_start_;
+
+  // Process-global mirrors of the per-instance counters above, for the
+  // JSON/Prometheus exporters.
+  obs::Counter& obs_queries_;
+  obs::Histogram& obs_latency_us_;
 };
 
 }  // namespace dance::serve

@@ -1,8 +1,9 @@
 #include "testing/property.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <sstream>
+
+#include "util/env.h"
 
 namespace dance::testing {
 
@@ -23,16 +24,9 @@ std::uint64_t mix_seed(std::uint64_t base, std::uint64_t trial) {
 
 PbtConfig PbtConfig::from_env() {
   PbtConfig config;
-  if (const char* env = std::getenv("DANCE_PBT_SEED")) {
-    // strtoull base 0 accepts decimal and 0x-prefixed hex.
-    char* end = nullptr;
-    const std::uint64_t v = std::strtoull(env, &end, 0);
-    if (end != env && *end == '\0') config.seed = v;
-  }
-  if (const char* env = std::getenv("DANCE_PBT_TRIALS")) {
-    const int v = std::atoi(env);
-    if (v > 0) config.trials = v;
-  }
+  // env_u64 accepts decimal and 0x-prefixed hex (strtoull base 0).
+  config.seed = util::env_u64("DANCE_PBT_SEED", config.seed);
+  config.trials = util::env_int("DANCE_PBT_TRIALS", config.trials, 1);
   return config;
 }
 

@@ -1,0 +1,104 @@
+#include "util/env.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/registry.h"
+
+namespace dance::util {
+
+namespace {
+
+/// Raw lookup: nullptr when unset, the value otherwise (may be empty).
+const char* raw(const char* name) { return std::getenv(name); }
+
+void record(const char* name, const std::string& effective, bool from_env) {
+  obs::Registry::global().record_env(name, effective, from_env);
+}
+
+bool iequals(const char* s, const char* lower) {
+  for (; *s != '\0' && *lower != '\0'; ++s, ++lower) {
+    if (std::tolower(static_cast<unsigned char>(*s)) != *lower) return false;
+  }
+  return *s == '\0' && *lower == '\0';
+}
+
+}  // namespace
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* env = raw(name);
+  const bool from_env = env != nullptr && *env != '\0';
+  const std::string value = from_env ? env : fallback;
+  record(name, value, from_env);
+  return value;
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const char* env = raw(name);
+  bool value = fallback;
+  bool from_env = false;
+  if (env != nullptr && *env != '\0') {
+    from_env = true;
+    value = !(std::strcmp(env, "0") == 0 || iequals(env, "false") ||
+              iequals(env, "off") || iequals(env, "no"));
+  }
+  record(name, value ? "1" : "0", from_env);
+  return value;
+}
+
+long env_long(const char* name, long fallback, long min_value,
+              long max_value) {
+  const char* env = raw(name);
+  long value = fallback;
+  bool from_env = false;
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= min_value && v <= max_value) {
+      value = v;
+      from_env = true;
+    }
+  }
+  record(name, std::to_string(value), from_env);
+  return value;
+}
+
+int env_int(const char* name, int fallback, int min_value, int max_value) {
+  return static_cast<int>(env_long(name, fallback, min_value, max_value));
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* env = raw(name);
+  std::uint64_t value = fallback;
+  bool from_env = false;
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0') {
+      value = v;
+      from_env = true;
+    }
+  }
+  record(name, std::to_string(value), from_env);
+  return value;
+}
+
+double env_double(const char* name, double fallback, double min_value,
+                  double max_value) {
+  const char* env = raw(name);
+  double value = fallback;
+  bool from_env = false;
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && *end == '\0' && v >= min_value && v <= max_value) {
+      value = v;
+      from_env = true;
+    }
+  }
+  record(name, std::to_string(value), from_env);
+  return value;
+}
+
+}  // namespace dance::util

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dance::util {
+
+/// Typed readers for the DANCE_* environment knobs.
+///
+/// Shared semantics:
+///   * unset or empty variable            -> fallback
+///   * unparseable value                  -> fallback
+///   * parsed value outside [min, max]    -> fallback (never clamped, so a
+///     typo'd knob degrades to the compiled-in default instead of a
+///     surprising boundary value)
+/// The fallback itself is returned verbatim even when it lies outside the
+/// given range (callers use that for "unset means compute a dynamic
+/// default", e.g. DANCE_NUM_THREADS -> hardware_concurrency()).
+///
+/// Every read records the knob's name, effective value and source
+/// (environment vs default) in the obs registry, so obs::export_json()
+/// documents the configuration a run actually used. Values are re-read on
+/// every call; nothing is cached here.
+[[nodiscard]] std::string env_string(const char* name,
+                                     const std::string& fallback);
+
+/// "0", "false", "off", "no" (case-insensitive) -> false; any other
+/// non-empty value -> true.
+[[nodiscard]] bool env_bool(const char* name, bool fallback);
+
+[[nodiscard]] long env_long(const char* name, long fallback,
+                            long min_value = std::numeric_limits<long>::min(),
+                            long max_value = std::numeric_limits<long>::max());
+
+[[nodiscard]] int env_int(const char* name, int fallback,
+                          int min_value = std::numeric_limits<int>::min(),
+                          int max_value = std::numeric_limits<int>::max());
+
+/// Decimal or 0x-prefixed hex (strtoull base 0); used by the PBT seed knob.
+[[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+[[nodiscard]] double env_double(
+    const char* name, double fallback,
+    double min_value = std::numeric_limits<double>::lowest(),
+    double max_value = std::numeric_limits<double>::max());
+
+}  // namespace dance::util

@@ -1,5 +1,6 @@
 #include "util/table.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
@@ -7,6 +8,13 @@
 namespace dance::util {
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::set_align(std::vector<Align> align) {
+  if (align.size() > header_.size()) {
+    throw std::invalid_argument("Table::set_align: more entries than columns");
+  }
+  align_ = std::move(align);
+}
 
 void Table::add_row(std::vector<std::string> row) {
   if (row.size() != header_.size()) {
@@ -21,7 +29,7 @@ std::string Table::fmt(double v, int precision) {
   return os.str();
 }
 
-std::string Table::to_string() const {
+std::string Table::to_string(const Style& style) const {
   std::vector<std::size_t> width(header_.size());
   for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
   for (const auto& row : rows_) {
@@ -29,19 +37,43 @@ std::string Table::to_string() const {
       width[c] = std::max(width[c], row[c].size());
     }
   }
-  std::ostringstream os;
-  auto emit = [&](const std::vector<std::string>& row) {
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      os << "| " << std::left << std::setw(static_cast<int>(width[c])) << row[c]
-         << ' ';
-    }
-    os << "|\n";
+  const auto align_of = [this](std::size_t c) {
+    return c < align_.size() ? align_[c] : Align::kLeft;
   };
+
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (style.pipes) {
+        os << "| ";
+      } else if (c != 0) {
+        os << std::string(static_cast<std::size_t>(std::max(1, style.gutter)),
+                          ' ');
+      }
+      os << (align_of(c) == Align::kRight ? std::right : std::left)
+         << std::setw(static_cast<int>(width[c])) << row[c];
+      if (style.pipes) os << ' ';
+    }
+    if (style.pipes) os << '|';
+    os << '\n';
+  };
+
   emit(header_);
-  for (std::size_t c = 0; c < header_.size(); ++c) {
-    os << "|" << std::string(width[c] + 2, '-');
+  if (style.rule) {
+    if (style.pipes) {
+      for (std::size_t c = 0; c < header_.size(); ++c) {
+        os << "|" << std::string(width[c] + 2, '-');
+      }
+      os << "|\n";
+    } else {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < header_.size(); ++c) {
+        total += width[c];
+        if (c != 0) total += static_cast<std::size_t>(std::max(1, style.gutter));
+      }
+      os << std::string(total, '-') << '\n';
+    }
   }
-  os << "|\n";
   for (const auto& row : rows_) emit(row);
   return os.str();
 }

@@ -5,22 +5,48 @@
 
 namespace dance::util {
 
-/// Minimal fixed-width ASCII table used by the benchmark harnesses to print
-/// paper-style result tables.
+/// Fixed-width ASCII table. One formatter serves every report in the repo:
+/// the paper-style benchmark tables (markdown style), the runtime profiler's
+/// per-op report and the serve stats block (plain style), so column
+/// alignment and padding are identical by construction.
 class Table {
  public:
+  enum class Align { kLeft, kRight };
+
+  /// Rendering options. The default reproduces the historical markdown-ish
+  /// look (`| a | b |` with a dash rule); plain() is the report style used
+  /// by profiler_report()/stats_report(): space-separated columns with a
+  /// dash rule under the header and no pipes.
+  struct Style {
+    bool pipes = true;   ///< "| a | b |" vs "a  b"
+    bool rule = true;    ///< dash rule under the header
+    int gutter = 2;      ///< spaces between plain-style columns
+
+    [[nodiscard]] static Style plain() {
+      return Style{.pipes = false, .rule = true, .gutter = 2};
+    }
+  };
+
   explicit Table(std::vector<std::string> header);
+
+  /// Per-column alignment; missing trailing entries default to kLeft.
+  /// The header cell is aligned like its column.
+  void set_align(std::vector<Align> align);
 
   void add_row(std::vector<std::string> row);
 
-  /// Render with column-aligned padding and a header separator.
-  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool empty() const { return rows_.empty(); }
+
+  /// Render with column-aligned padding (markdown style).
+  [[nodiscard]] std::string to_string() const { return to_string(Style{}); }
+  [[nodiscard]] std::string to_string(const Style& style) const;
 
   /// Format a double with fixed precision (helper for row building).
   static std::string fmt(double v, int precision = 2);
 
  private:
   std::vector<std::string> header_;
+  std::vector<Align> align_;
   std::vector<std::vector<std::string>> rows_;
 };
 

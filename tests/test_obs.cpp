@@ -1,0 +1,329 @@
+// Unit suites for dance::obs: the instrument registry, histogram semantics,
+// trace spans, the JSON/Prometheus exporters, the typed util::env readers
+// that feed the registry's config section, and the util::Table styles shared
+// by profiler_report and Service::stats_report.
+//
+// Suite names carry a lowercase "obs" so `ctest -R obs` selects these
+// alongside the property suite in test_property_obs.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "arch/ops.h"
+#include "data/synthetic.h"
+#include "nas/fixed_net.h"
+#include "nas/supernet.h"
+#include "nas/trainer.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "runtime/profiler.h"
+#include "util/env.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dance;
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(obs_registry, CounterIdentityAndAccumulation) {
+  auto& reg = obs::Registry::global();
+  obs::Counter& a = reg.counter("test.obs.counter_identity");
+  obs::Counter& b = reg.counter("test.obs.counter_identity");
+  EXPECT_EQ(&a, &b);  // same name -> same instrument, forever
+
+  const std::uint64_t before = a.value();
+  a.inc();
+  b.inc(4);
+  EXPECT_EQ(a.value(), before + 5);
+}
+
+TEST(obs_registry, GaugeLastWriteWins) {
+  obs::Gauge& g = obs::Registry::global().gauge("test.obs.gauge");
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+}
+
+TEST(obs_registry, SnapshotSortedByName) {
+  auto& reg = obs::Registry::global();
+  (void)reg.counter("test.obs.zz");
+  (void)reg.counter("test.obs.aa");
+  const auto snap = reg.snapshot();
+  ASSERT_GE(snap.counters.size(), 2U);
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+}
+
+TEST(obs_registry, ResetPrefixZeroesOnlyMatches) {
+  auto& reg = obs::Registry::global();
+  obs::Counter& in = reg.counter("test.obs.prefix.inside");
+  obs::Counter& out = reg.counter("test.obs.outside");
+  in.inc(3);
+  out.inc(7);
+  const std::uint64_t out_before = out.value();
+  reg.reset_prefix("test.obs.prefix.");
+  EXPECT_EQ(in.value(), 0U);
+  EXPECT_EQ(out.value(), out_before);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(obs_histogram, StatsMatchPercentileOracle) {
+  obs::Histogram& h = obs::Registry::global().histogram(
+      "test.obs.hist_oracle", {1.0, 10.0, 100.0});
+  std::vector<double> samples;
+  for (int i = 1; i <= 200; ++i) {
+    const double v = static_cast<double>(i) * 0.5;
+    h.observe(v);
+    samples.push_back(v);
+  }
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 200U);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.p50, util::percentile(samples, 50.0));
+  EXPECT_DOUBLE_EQ(s.p95, util::percentile(samples, 95.0));
+}
+
+TEST(obs_histogram, BucketsAreCumulativeWithInfLast) {
+  obs::Histogram& h = obs::Registry::global().histogram(
+      "test.obs.hist_buckets", {1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 3.0, 100.0}) h.observe(v);
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.bounds.size(), 3U);
+  ASSERT_EQ(s.buckets.size(), 4U);  // 3 finite bounds + the +Inf bucket
+  EXPECT_EQ(s.buckets[0], 2U);      // <= 1.0 (le is inclusive)
+  EXPECT_EQ(s.buckets[1], 3U);      // <= 2.0
+  EXPECT_EQ(s.buckets[2], 4U);      // <= 4.0
+  EXPECT_EQ(s.buckets[3], s.count);  // +Inf == total
+  // Cumulative: never decreasing.
+  for (std::size_t i = 1; i < s.buckets.size(); ++i) {
+    EXPECT_GE(s.buckets[i], s.buckets[i - 1]);
+  }
+}
+
+TEST(obs_histogram, RegistryResetZeroesButKeepsIdentity) {
+  auto& reg = obs::Registry::global();
+  obs::Histogram& h = reg.histogram("test.obs.hist_reset", {1.0});
+  h.observe(0.25);
+  reg.reset_prefix("test.obs.hist_reset");
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0U);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  // Same reference still usable after reset.
+  h.observe(2.0);
+  EXPECT_EQ(h.snapshot().count, 1U);
+  EXPECT_EQ(&h, &reg.histogram("test.obs.hist_reset"));
+}
+
+TEST(obs_histogram, ProfilerRidesTheRegistry) {
+  runtime::profiler_reset();
+  runtime::profiler_record("obs_test_op", 2.0);
+  runtime::profiler_record("obs_test_op", 4.0);
+  // The profiler's storage IS the registry histogram family.
+  const auto s = obs::Registry::global()
+                     .histogram(std::string(runtime::kProfilerMetricPrefix) +
+                                "obs_test_op")
+                     .snapshot();
+  EXPECT_EQ(s.count, 2U);
+  EXPECT_DOUBLE_EQ(s.sum, 6.0);
+  const auto snap = runtime::profiler_snapshot();
+  ASSERT_EQ(snap.size(), 1U);
+  EXPECT_EQ(snap[0].first, "obs_test_op");
+  EXPECT_EQ(snap[0].second.calls, 2U);
+  runtime::profiler_reset();
+  EXPECT_TRUE(runtime::profiler_snapshot().empty());
+}
+
+// --- Spans ------------------------------------------------------------------
+
+TEST(obs_spans, NestedSpansRecordParentIds) {
+  obs::clear_spans();
+  {
+    obs::ScopedSpan outer("obs_test.outer");
+    obs::ScopedSpan inner("obs_test.inner");
+  }
+  const auto spans = obs::recent_spans();
+  ASSERT_EQ(spans.size(), 2U);
+  // Sorted by start time: outer starts first.
+  EXPECT_EQ(spans[0].name, "obs_test.outer");
+  EXPECT_EQ(spans[1].name, "obs_test.inner");
+  EXPECT_EQ(spans[0].parent, 0U);             // root
+  EXPECT_EQ(spans[1].parent, spans[0].id);    // nested under outer
+  EXPECT_GE(spans[0].dur_ms, spans[1].dur_ms);
+  obs::clear_spans();
+}
+
+TEST(obs_spans, TrainerEmitsEpochSpansAndLossGauge) {
+  obs::clear_spans();
+  data::SyntheticTaskConfig dcfg;
+  dcfg.input_dim = 8;
+  dcfg.num_classes = 4;
+  dcfg.train_samples = 64;
+  dcfg.val_samples = 16;
+  const data::SyntheticTask task = data::make_synthetic_task(dcfg);
+  nas::SuperNetConfig cfg;
+  cfg.input_dim = 8;
+  cfg.num_classes = 4;
+  cfg.width = 8;
+  cfg.num_blocks = 2;
+  util::Rng rng(3);
+  nas::FixedNet net(cfg, arch::Architecture(2, arch::CandidateOp::kMbConv3x3E3),
+                    rng);
+  nas::FixedTrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 32;
+  (void)nas::train_fixed_net(net, task, opts);
+
+  int epoch_spans = 0;
+  for (const auto& s : obs::recent_spans()) {
+    if (s.name == "nas.fixed.epoch") ++epoch_spans;
+  }
+  EXPECT_EQ(epoch_spans, 2);
+  EXPECT_GT(obs::Registry::global().gauge("nas.fixed.loss").value(), 0.0);
+  obs::clear_spans();
+}
+
+// --- Exporters --------------------------------------------------------------
+
+TEST(obs_export, JsonHasEverySectionAndBalancedBraces) {
+  obs::Registry::global().counter("test.obs.export_counter").inc();
+  obs::Registry::global().histogram("test.obs.export_hist", {1.0}).observe(0.5);
+  const std::string doc = obs::export_json();
+  for (const char* key :
+       {"\"build\"", "\"config\"", "\"counters\"", "\"gauges\"",
+        "\"histograms\"", "\"spans\"", "\"test.obs.export_counter\"",
+        "\"test.obs.export_hist\"", "\"+Inf\""}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << "missing " << key;
+  }
+  long depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(obs_export, PrometheusEmitsTypedFamiliesWithInfBucket) {
+  obs::Registry::global().counter("test.obs.prom_counter").inc(2);
+  obs::Registry::global().histogram("test.obs.prom_hist", {1.0}).observe(3.0);
+  const std::string text = obs::export_prometheus();
+  EXPECT_NE(text.find("# TYPE dance_test_obs_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dance_test_obs_prom_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("dance_test_obs_prom_hist_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("dance_test_obs_prom_hist_sum"), std::string::npos);
+  EXPECT_NE(text.find("dance_test_obs_prom_hist_count"), std::string::npos);
+  // No raw dots survive in metric names.
+  EXPECT_EQ(text.find("dance_test.obs"), std::string::npos);
+}
+
+TEST(obs_export, WriteJsonFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "dance_obs_export_test.json";
+  ASSERT_TRUE(obs::write_json_file(path));
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_FALSE(content.empty());
+  EXPECT_NE(content.find("\"counters\""), std::string::npos);
+  EXPECT_FALSE(obs::write_json_file("/nonexistent-dir/x/y.json"));
+}
+
+// --- util::env --------------------------------------------------------------
+
+TEST(obs_env, TypedReadersParseValidateAndFallBack) {
+  setenv("DANCE_OBS_TEST_INT", "42", 1);
+  EXPECT_EQ(util::env_int("DANCE_OBS_TEST_INT", 7), 42);
+  setenv("DANCE_OBS_TEST_INT", "garbage", 1);
+  EXPECT_EQ(util::env_int("DANCE_OBS_TEST_INT", 7), 7);
+  setenv("DANCE_OBS_TEST_INT", "-5", 1);
+  // Out of range -> fallback, never clamped.
+  EXPECT_EQ(util::env_int("DANCE_OBS_TEST_INT", 7, 1, 100), 7);
+  unsetenv("DANCE_OBS_TEST_INT");
+  EXPECT_EQ(util::env_int("DANCE_OBS_TEST_INT", 7), 7);
+
+  setenv("DANCE_OBS_TEST_BOOL", "off", 1);
+  EXPECT_FALSE(util::env_bool("DANCE_OBS_TEST_BOOL", true));
+  setenv("DANCE_OBS_TEST_BOOL", "yes", 1);
+  EXPECT_TRUE(util::env_bool("DANCE_OBS_TEST_BOOL", false));
+  unsetenv("DANCE_OBS_TEST_BOOL");
+  EXPECT_TRUE(util::env_bool("DANCE_OBS_TEST_BOOL", true));
+
+  setenv("DANCE_OBS_TEST_U64", "0x10", 1);
+  EXPECT_EQ(util::env_u64("DANCE_OBS_TEST_U64", 1), 16U);
+  unsetenv("DANCE_OBS_TEST_U64");
+
+  setenv("DANCE_OBS_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(util::env_double("DANCE_OBS_TEST_DBL", 1.0), 2.5);
+  setenv("DANCE_OBS_TEST_DBL", "1000", 1);
+  EXPECT_DOUBLE_EQ(util::env_double("DANCE_OBS_TEST_DBL", 1.0, 0.0, 10.0), 1.0);
+  unsetenv("DANCE_OBS_TEST_DBL");
+
+  setenv("DANCE_OBS_TEST_STR", "hello", 1);
+  EXPECT_EQ(util::env_string("DANCE_OBS_TEST_STR", "d"), "hello");
+  unsetenv("DANCE_OBS_TEST_STR");
+  EXPECT_EQ(util::env_string("DANCE_OBS_TEST_STR", "d"), "d");
+}
+
+TEST(obs_env, EveryReadIsRecordedInTheRegistry) {
+  setenv("DANCE_OBS_TEST_RECORDED", "123", 1);
+  (void)util::env_int("DANCE_OBS_TEST_RECORDED", 0);
+  unsetenv("DANCE_OBS_TEST_RECORDED");
+  (void)util::env_string("DANCE_OBS_TEST_FELL_BACK", "d");  // unset -> default
+  const auto snap = obs::Registry::global().snapshot();
+  bool found_env = false;
+  bool found_default = false;
+  for (const auto& [name, knob] : snap.env) {
+    if (name == "DANCE_OBS_TEST_RECORDED") {
+      found_env = knob.from_env && knob.value == "123";
+    }
+    if (name == "DANCE_OBS_TEST_FELL_BACK") {
+      found_default = !knob.from_env && knob.value == "d";
+    }
+  }
+  EXPECT_TRUE(found_env);
+  EXPECT_TRUE(found_default);
+}
+
+// --- util::Table styles -----------------------------------------------------
+
+TEST(obs_table, PlainStyleAlignsWithoutPipes) {
+  util::Table t({"metric", "value"});
+  t.set_align({util::Table::Align::kLeft, util::Table::Align::kRight});
+  t.add_row({"queries", "3"});
+  t.add_row({"latency p95 us", "361.0"});
+  const std::string plain = t.to_string(util::Table::Style::plain());
+  EXPECT_EQ(plain.find('|'), std::string::npos);
+  EXPECT_NE(plain.find("metric"), std::string::npos);
+  EXPECT_NE(plain.find("-----"), std::string::npos);
+  // Right alignment: the short value ends at the same column as the header.
+  const std::string md = t.to_string();  // default markdown look preserved
+  EXPECT_NE(md.find("| metric"), std::string::npos);
+  EXPECT_NE(md.find("|----"), std::string::npos);
+}
+
+}  // namespace
