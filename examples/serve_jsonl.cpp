@@ -8,21 +8,31 @@
 // Response:
 //   {"id": 1, "latency_ms": ..., "energy_mj": ..., "area_mm2": ...,
 //    "pe_x": 16, "pe_y": 16, "rf_size": 32, "dataflow": "RS",
-//    "cached": false}
+//    "cached": false, "degraded": false}
 // Malformed lines get {"id": <id or -1>, "error": "..."} and processing
-// continues.
+// continues. "degraded" marks answers that came from the resilience
+// fallback tier instead of the primary backend.
 //
 // Flags:
 //   --backend=exact|surrogate  ground-truth LUT (default) or the evaluator
 //   --small                    tiny hardware space (fast startup; CI smoke)
 //   --hwgen-ckpt=PATH          load HwGenNet weights  (surrogate only)
 //   --cost-ckpt=PATH           load CostNet weights   (surrogate only)
+//   --fault=SPEC               install a fault injector (same grammar as
+//                              DANCE_FAULT; overrides the env variable)
+//   --resilient                wrap the backend in serve::ResilientBackend
+//                              (deadlines/retries/breaker via the
+//                              DANCE_SERVE_* knobs); with --backend=exact a
+//                              surrogate fallback tier is built so faulted
+//                              queries degrade instead of erroring
 //
 // Examples:
 //   printf '{"id":1,"arch":[0,1,2,3,4,5,6,0,1]}\n' |
 //     ./build/examples/serve_jsonl --backend=exact --small
 //   ./build/examples/serve_jsonl --backend=surrogate
 //     --hwgen-ckpt=evaluator_hwgen.ckpt --cost-ckpt=evaluator_cost.ckpt < q.jsonl
+//   ./build/examples/serve_jsonl --small --resilient
+//     --fault='backend:error=0.2,latency=0.1:2000' < q.jsonl
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -35,8 +45,11 @@
 #include "accel/cost_function.h"
 #include "arch/cost_table.h"
 #include "evalnet/evaluator.h"
+#include "fault/fault.h"
+#include "fault/faulty_backend.h"
 #include "obs/span.h"
 #include "serve/backend.h"
+#include "serve/resilient.h"
 #include "serve/service.h"
 #include "util/env.h"
 
@@ -101,10 +114,11 @@ void print_response(long id, const serve::Response& r) {
   std::printf(
       "{\"id\": %ld, \"latency_ms\": %.6g, \"energy_mj\": %.6g, "
       "\"area_mm2\": %.6g, \"pe_x\": %d, \"pe_y\": %d, \"rf_size\": %d, "
-      "\"dataflow\": \"%s\", \"cached\": %s}\n",
+      "\"dataflow\": \"%s\", \"cached\": %s, \"degraded\": %s}\n",
       id, r.metrics.latency_ms, r.metrics.energy_mj, r.metrics.area_mm2,
       r.config.pe_x, r.config.pe_y, r.config.rf_size,
-      accel::to_string(r.config.dataflow).c_str(), r.cached ? "true" : "false");
+      accel::to_string(r.config.dataflow).c_str(), r.cached ? "true" : "false",
+      r.degraded ? "true" : "false");
 }
 
 const char* flag_value(const char* arg, const char* flag) {
@@ -118,7 +132,9 @@ int main(int argc, char** argv) {
   std::string backend_name = "exact";
   std::string hwgen_ckpt;
   std::string cost_ckpt;
+  std::string fault_spec_text;
   bool small = false;
+  bool resilient_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (const char* v = flag_value(argv[i], "--backend=")) {
       backend_name = v;
@@ -126,6 +142,10 @@ int main(int argc, char** argv) {
       hwgen_ckpt = v;
     } else if (const char* v = flag_value(argv[i], "--cost-ckpt=")) {
       cost_ckpt = v;
+    } else if (const char* v = flag_value(argv[i], "--fault=")) {
+      fault_spec_text = v;
+    } else if (std::strcmp(argv[i], "--resilient") == 0) {
+      resilient_mode = true;
     } else if (std::strcmp(argv[i], "--small") == 0) {
       small = true;
     } else {
@@ -166,9 +186,56 @@ int main(int argc, char** argv) {
     backend = std::make_unique<serve::SurrogateBackend>(*evaluator);
   }
 
-  serve::Service service(*backend);  // options from DANCE_SERVE_* env
+  // Fault injection: --fault wins over DANCE_FAULT; either installs the
+  // injector globally (arming the pool-site hook when the spec asks for it)
+  // and decorates the backend with the "backend"-site chaos wrapper.
+  std::shared_ptr<fault::FaultInjector> injector;
+  try {
+    if (!fault_spec_text.empty()) {
+      injector = std::make_shared<fault::FaultInjector>(
+          fault::FaultSpec::parse(fault_spec_text),
+          util::env_u64("DANCE_FAULT_SEED", 0xFA17));
+      fault::install_global(injector);
+    } else {
+      injector = fault::install_from_env();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad fault spec: %s\n", e.what());
+    return 2;
+  }
+  std::unique_ptr<fault::FaultyBackend> faulty;
+  serve::CostQueryBackend* primary = backend.get();
+  if (injector) {
+    faulty = std::make_unique<fault::FaultyBackend>(*backend, injector);
+    primary = faulty.get();
+    std::fprintf(stderr, "[serve_jsonl] fault injection armed (seed=0x%llx)\n",
+                 static_cast<unsigned long long>(injector->seed()));
+  }
+
+  // Resilience: decorate the (possibly faulty) primary with deadlines,
+  // retries and the breaker. With an exact primary, an untrained-or-loaded
+  // surrogate acts as the degradation tier; a surrogate primary has no
+  // cheaper tier to fall back to.
+  std::unique_ptr<serve::SurrogateBackend> fallback;
+  std::unique_ptr<serve::ResilientBackend> resilient;
+  serve::CostQueryBackend* serving = primary;
+  if (resilient_mode) {
+    if (backend_name == "exact") {
+      util::Rng rng(17);
+      evaluator = std::make_unique<evalnet::Evaluator>(
+          arch_space.encoding_width(), hw_space, rng);
+      if (!hwgen_ckpt.empty()) evaluator->hwgen_net().load(hwgen_ckpt);
+      if (!cost_ckpt.empty()) evaluator->cost_net().load(cost_ckpt);
+      fallback = std::make_unique<serve::SurrogateBackend>(*evaluator);
+    }
+    resilient = std::make_unique<serve::ResilientBackend>(
+        *primary, fallback.get(), serve::ResilientBackend::Options::from_env());
+    serving = resilient.get();
+  }
+
+  serve::Service service(*serving);  // options from DANCE_SERVE_* env
   std::fprintf(stderr, "[serve_jsonl] backend=%s, reading JSON lines from stdin\n",
-               backend->name());
+               serving->name());
   const std::string metrics_path = util::env_string("DANCE_METRICS_JSON", "");
   if (!metrics_path.empty()) {
     std::fprintf(stderr, "[serve_jsonl] metrics will be exported to %s at exit\n",
@@ -224,5 +291,30 @@ int main(int argc, char** argv) {
   }
 
   std::fputs(service.stats_report().c_str(), stderr);
+  if (resilient) {
+    const auto rs = resilient->stats();
+    std::fprintf(stderr,
+                 "[serve_jsonl] resilience: primary_calls=%llu retries=%llu "
+                 "fallbacks=%llu deadline_expired=%llu breaker_opens=%llu "
+                 "breaker_closes=%llu shed=%llu\n",
+                 static_cast<unsigned long long>(rs.primary_calls),
+                 static_cast<unsigned long long>(rs.retries),
+                 static_cast<unsigned long long>(rs.fallbacks),
+                 static_cast<unsigned long long>(rs.deadline_expired),
+                 static_cast<unsigned long long>(rs.breaker_opens),
+                 static_cast<unsigned long long>(rs.breaker_closes),
+                 static_cast<unsigned long long>(service.stats().batcher.shed));
+  }
+  if (injector) {
+    const auto fs = injector->stats();
+    std::fprintf(stderr,
+                 "[serve_jsonl] faults injected: visits=%llu errors=%llu "
+                 "latency_spikes=%llu hangs=%llu\n",
+                 static_cast<unsigned long long>(fs.visits),
+                 static_cast<unsigned long long>(fs.errors),
+                 static_cast<unsigned long long>(fs.latency_spikes),
+                 static_cast<unsigned long long>(fs.hangs));
+    fault::install_global(nullptr);  // disarm the pool hook before teardown
+  }
   return 0;
 }

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "obs/registry.h"
+#include "util/rng.h"
+
+namespace dance::fault {
+
+/// The error an injector raises at a faulted site. Deliberately a plain
+/// std::runtime_error subtype: resilience code must treat it like any other
+/// transient backend failure, and tests can still catch it by exact type to
+/// prove a failure was injected rather than organic.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Injection sites wired up by this library. Backends decorated with
+/// FaultyBackend visit `kBackendSite` once per query_batch; the runtime
+/// thread pool visits `kPoolSite` once per submitted job (via the
+/// job-boundary hook) when a global injector with an active pool site is
+/// installed. Specs may name other sites; they are simply never visited
+/// until someone calls `FaultInjector::at` with that name.
+inline constexpr const char* kBackendSite = "backend";
+inline constexpr const char* kPoolSite = "pool";
+
+/// Fault probabilities for one injection site. Rates are per *visit*
+/// (per backend batch call / per pool job), independent draws.
+struct SiteSpec {
+  double error_rate = 0.0;    ///< P(throw InjectedFault)
+  double latency_rate = 0.0;  ///< P(sleep latency_us)
+  long latency_us = 1000;     ///< latency-spike magnitude
+  double hang_rate = 0.0;     ///< P(sleep hang_us) — a "bounded hang"
+  long hang_us = 50000;       ///< hang magnitude (long enough to trip
+                              ///< deadlines, short enough to finish)
+
+  [[nodiscard]] bool any() const {
+    return error_rate > 0.0 || latency_rate > 0.0 || hang_rate > 0.0;
+  }
+};
+
+/// Parsed form of a DANCE_FAULT chaos spec.
+///
+/// Grammar (whitespace around tokens ignored):
+///   spec    := clause (';' clause)*
+///   clause  := [site ':'] pair (',' pair)*
+///   pair    := 'error'   '=' rate
+///            | 'latency' '=' rate [':' micros]
+///            | 'hang'    '=' rate [':' micros]
+/// A clause without a site prefix targets "backend". Examples:
+///   error=0.1
+///   backend:error=0.1,latency=0.05:2000;pool:hang=0.01:10000
+/// Rates must parse and lie in [0, 1]; durations must be positive integers.
+/// Unlike the env knobs (fallback on garbage), a malformed chaos spec
+/// throws std::invalid_argument — silently not injecting the faults an
+/// operator asked for would make a chaos run vacuously green.
+struct FaultSpec {
+  std::map<std::string, SiteSpec> sites;
+
+  [[nodiscard]] static FaultSpec parse(const std::string& text);
+  /// Parses DANCE_FAULT; empty spec when unset/empty.
+  [[nodiscard]] static FaultSpec from_env();
+
+  [[nodiscard]] bool empty() const { return sites.empty(); }
+  /// True when `site` is configured with at least one nonzero rate.
+  [[nodiscard]] bool active_at(const std::string& site) const;
+};
+
+/// Seeded fault source shared by every injection site in a process.
+///
+/// Each site owns an independent util::Rng stream derived from
+/// testing::mix_seed(seed, fnv1a(site)), and every visit draws the same
+/// three uniforms (latency, hang, error — in that order) regardless of
+/// which fault kinds are configured. Two runs with the same seed, spec and
+/// per-site visit sequence therefore fault the exact same visits, even if
+/// one run's spec zeroes a rate the other sets — the replay convention the
+/// testing layer's PBT seeds established. Visits to sites the spec does not
+/// name are no-ops. Thread-safe; draws happen under a per-site mutex, the
+/// sleeps and the throw happen outside it.
+class FaultInjector {
+ public:
+  FaultInjector(FaultSpec spec, std::uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Visit `site`: possibly sleep (latency and/or hang), then possibly
+  /// throw InjectedFault. Mirrors every trigger into the process-global
+  /// obs counters fault.injected.{latency,hangs,errors}.
+  void at(const std::string& site);
+
+  struct Stats {
+    std::uint64_t visits = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t latency_spikes = 0;
+    std::uint64_t hangs = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  struct Site {
+    std::mutex mu;
+    util::Rng rng;
+    SiteSpec spec;
+    explicit Site(std::uint64_t s) : rng(s) {}
+  };
+
+  FaultSpec spec_;
+  std::uint64_t seed_;
+  std::map<std::string, std::unique_ptr<Site>> sites_;
+
+  std::atomic<std::uint64_t> visits_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> latency_{0};
+  std::atomic<std::uint64_t> hangs_{0};
+  obs::Counter& obs_errors_;
+  obs::Counter& obs_latency_;
+  obs::Counter& obs_hangs_;
+};
+
+/// Installs `injector` as the process-global fault source (nullptr
+/// uninstalls). When the injector's spec has an active "pool" site this
+/// also arms the runtime thread pool's job-boundary hook; otherwise the
+/// hook is cleared, so fault-free operation costs the pool one null check.
+void install_global(std::shared_ptr<FaultInjector> injector);
+
+/// The currently installed global injector (may be null).
+[[nodiscard]] std::shared_ptr<FaultInjector> global_injector();
+
+/// Convenience for main()s: parse DANCE_FAULT (+ DANCE_FAULT_SEED, default
+/// 0xFA17), build and install the injector, and return it. Returns null —
+/// and uninstalls any previous global — when DANCE_FAULT is unset/empty.
+/// Throws std::invalid_argument on a malformed spec.
+std::shared_ptr<FaultInjector> install_from_env();
+
+}  // namespace dance::fault

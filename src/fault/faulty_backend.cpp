@@ -1,0 +1,26 @@
+#include "fault/faulty_backend.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dance::fault {
+
+FaultyBackend::FaultyBackend(serve::CostQueryBackend& inner,
+                             std::shared_ptr<FaultInjector> injector,
+                             std::string site)
+    : inner_(inner),
+      injector_(std::move(injector)),
+      site_(std::move(site)),
+      name_(std::string("faulty(") + inner.name() + ")") {
+  if (!injector_) {
+    throw std::invalid_argument("FaultyBackend: null injector");
+  }
+}
+
+std::vector<serve::Response> FaultyBackend::query_batch(
+    std::span<const serve::Request> requests) {
+  injector_->at(site_);
+  return inner_.query_batch(requests);
+}
+
+}  // namespace dance::fault

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fault/fault.h"
+#include "serve/backend.h"
+
+namespace dance::fault {
+
+/// Chaos decorator for any CostQueryBackend: visits an injection site
+/// before delegating, so a faulted call sleeps and/or throws *instead of*
+/// producing an answer, and an un-faulted call returns the inner backend's
+/// responses untouched (bit-identical — the decorator never rewrites a
+/// Response). One site visit per query_batch call, matching the batcher's
+/// unit of work.
+class FaultyBackend : public serve::CostQueryBackend {
+ public:
+  /// `injector` must outlive the backend (shared ownership makes that
+  /// automatic); `site` defaults to the standard backend site.
+  FaultyBackend(serve::CostQueryBackend& inner,
+                std::shared_ptr<FaultInjector> injector,
+                std::string site = kBackendSite);
+
+  [[nodiscard]] std::vector<serve::Response> query_batch(
+      std::span<const serve::Request> requests) override;
+  [[nodiscard]] const char* name() const override { return name_.c_str(); }
+
+  [[nodiscard]] serve::CostQueryBackend& inner() { return inner_; }
+
+ private:
+  serve::CostQueryBackend& inner_;
+  std::shared_ptr<FaultInjector> injector_;
+  std::string site_;
+  std::string name_;  ///< "faulty(<inner>)", built once
+};
+
+}  // namespace dance::fault

@@ -11,6 +11,7 @@ MicroBatcher::MicroBatcher(CostQueryBackend& backend, Options opts)
       opts_(opts),
       obs_requests_(obs::Registry::global().counter("serve.batch.requests")),
       obs_batches_(obs::Registry::global().counter("serve.batch.executed")),
+      obs_shed_(obs::Registry::global().counter("serve.resilience.shed")),
       obs_batch_size_(obs::Registry::global().histogram(
           "serve.batch.size", {1, 2, 4, 8, 16, 32, 64, 128, 256})) {
   if (opts_.max_batch > 1) {
@@ -42,9 +43,17 @@ Response MicroBatcher::query(const Request& request) {
   std::future<Response> future;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (pending_.empty()) oldest_enqueue_ = std::chrono::steady_clock::now();
+    if (opts_.max_pending > 0 &&
+        pending_.size() >= static_cast<std::size_t>(opts_.max_pending)) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      obs_shed_.inc();
+      throw Overloaded("MicroBatcher: pending queue full (" +
+                       std::to_string(pending_.size()) + " waiting, max_pending=" +
+                       std::to_string(opts_.max_pending) + ")");
+    }
     Pending p;
     p.request = &request;  // stays alive: the caller blocks on the future
+    p.enqueue = std::chrono::steady_clock::now();
     future = p.promise.get_future();
     pending_.push_back(std::move(p));
   }
@@ -72,6 +81,7 @@ MicroBatcher::Stats MicroBatcher::stats() const {
   out.requests = requests_.load(std::memory_order_relaxed);
   out.batches = batches_.load(std::memory_order_relaxed);
   out.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -95,10 +105,13 @@ void MicroBatcher::drain_loop() {
       std::unique_lock<std::mutex> lk(mu_);
       cv_.wait(lk, [&] { return stop_ || !pending_.empty(); });
       if (stop_ && pending_.empty()) return;
-      // A partial batch waits until the deadline of its *oldest* request;
-      // a full batch (or shutdown) goes immediately.
+      // A partial batch waits until the deadline of its *oldest* request —
+      // pending_ is FIFO, so that is front().enqueue, which survives partial
+      // drains (a leftover request keeps its original arrival time instead
+      // of having its wait restarted). A full batch (or shutdown) goes
+      // immediately.
       const auto deadline =
-          oldest_enqueue_ + std::chrono::microseconds(opts_.max_wait_us);
+          pending_.front().enqueue + std::chrono::microseconds(opts_.max_wait_us);
       cv_.wait_until(lk, deadline, [&] {
         return stop_ ||
                pending_.size() >= static_cast<std::size_t>(opts_.max_batch);
@@ -111,7 +124,6 @@ void MicroBatcher::drain_loop() {
                                            static_cast<std::ptrdiff_t>(take)));
       pending_.erase(pending_.begin(),
                      pending_.begin() + static_cast<std::ptrdiff_t>(take));
-      if (!pending_.empty()) oldest_enqueue_ = std::chrono::steady_clock::now();
     }
     execute(std::move(batch));
   }

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -13,6 +14,15 @@
 #include "serve/backend.h"
 
 namespace dance::serve {
+
+/// Thrown by `MicroBatcher::query` when the pending queue is at
+/// `max_pending`: the service is overloaded and sheds the request instead of
+/// letting the queue (and every caller's latency) grow without bound.
+/// Callers should treat it as back-pressure — retry later or route elsewhere.
+class Overloaded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Coalesces concurrent cost queries into batched backend calls.
 ///
@@ -36,6 +46,11 @@ class MicroBatcher {
   struct Options {
     int max_batch = 32;        ///< count trigger; <= 1 disables batching
     long max_wait_us = 200;    ///< deadline trigger for partial batches
+    /// Load-shedding cap on the pending queue: a blocking `query` arriving
+    /// while `max_pending` requests already wait throws `Overloaded` instead
+    /// of enqueueing. <= 0 disables shedding. Inline mode (max_batch <= 1)
+    /// never queues, so the cap does not apply there.
+    long max_pending = 4096;
   };
 
   /// Per-instance counters for the stats report. The same events also feed
@@ -45,6 +60,7 @@ class MicroBatcher {
     std::uint64_t requests = 0;
     std::uint64_t batches = 0;
     std::uint64_t max_batch_seen = 0;
+    std::uint64_t shed = 0;  ///< queries rejected by the max_pending cap
 
     [[nodiscard]] double mean_batch() const {
       return batches == 0 ? 0.0
@@ -60,7 +76,9 @@ class MicroBatcher {
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
   /// Blocking single query; coalesced with concurrent callers. Backend
-  /// exceptions propagate to every caller in the failed batch.
+  /// exceptions propagate to every caller in the failed batch. Throws
+  /// `Overloaded` (without blocking) when the pending queue is at
+  /// `max_pending`.
   [[nodiscard]] Response query(const Request& request);
 
   /// Bulk entry point: answers all `requests` by slicing them directly into
@@ -78,6 +96,10 @@ class MicroBatcher {
   struct Pending {
     const Request* request = nullptr;
     std::promise<Response> promise;
+    /// Arrival time; the deadline trigger fires `max_wait_us` after the
+    /// *front* entry's arrival, so a request left behind by a partial drain
+    /// keeps its original deadline instead of restarting the clock.
+    std::chrono::steady_clock::time_point enqueue{};
   };
 
   void drain_loop();
@@ -93,16 +115,17 @@ class MicroBatcher {
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::vector<Pending> pending_;
-  std::chrono::steady_clock::time_point oldest_enqueue_{};
+  std::vector<Pending> pending_;  ///< FIFO: front() is the oldest arrival
   bool stop_ = false;
 
   // Lock-free per-instance counters; stats() assembles a Stats from these.
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> max_batch_seen_{0};
+  std::atomic<std::uint64_t> shed_{0};
   obs::Counter& obs_requests_;
   obs::Counter& obs_batches_;
+  obs::Counter& obs_shed_;
   obs::Histogram& obs_batch_size_;
 
   std::thread worker_;  ///< last member: joins cleanly before state dies

@@ -1,0 +1,260 @@
+#include "serve/resilient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/env.h"
+
+namespace dance::serve {
+
+ResilientBackend::Options ResilientBackend::Options::from_env() {
+  Options opts;
+  opts.retries = util::env_int("DANCE_SERVE_RETRIES", opts.retries, 0);
+  opts.deadline_us =
+      util::env_long("DANCE_SERVE_DEADLINE_US", opts.deadline_us, 0);
+  opts.backoff_us = util::env_long("DANCE_SERVE_BACKOFF_US", opts.backoff_us, 0);
+  opts.breaker_threshold = util::env_int("DANCE_SERVE_BREAKER_THRESHOLD",
+                                         opts.breaker_threshold, 1);
+  opts.breaker_cooldown_us = util::env_long("DANCE_SERVE_BREAKER_COOLDOWN_US",
+                                            opts.breaker_cooldown_us, 0);
+  return opts;
+}
+
+ResilientBackend::ResilientBackend(CostQueryBackend& primary,
+                                   CostQueryBackend* fallback, Options opts)
+    : primary_(primary),
+      fallback_(fallback),
+      opts_(opts),
+      rng_(opts.jitter_seed),
+      obs_retries_(obs::Registry::global().counter("serve.resilience.retries")),
+      obs_fallbacks_(
+          obs::Registry::global().counter("serve.resilience.fallbacks")),
+      obs_deadline_(
+          obs::Registry::global().counter("serve.resilience.deadline_expired")),
+      obs_breaker_opens_(
+          obs::Registry::global().counter("serve.resilience.breaker.opens")),
+      obs_breaker_closes_(
+          obs::Registry::global().counter("serve.resilience.breaker.closes")) {
+  name_ = std::string("resilient(") + primary_.name();
+  if (fallback_ != nullptr) name_ += std::string("|") + fallback_->name();
+  name_ += ")";
+}
+
+ResilientBackend::~ResilientBackend() {
+  std::lock_guard<std::mutex> lk(abandoned_mu_);
+  for (std::thread& t : abandoned_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::vector<Response> ResilientBackend::query_batch(
+    std::span<const Request> requests) {
+  const bool has_deadline = opts_.deadline_us > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(opts_.deadline_us);
+
+  bool probing = false;
+  if (!admit_primary(&probing)) {
+    return answer_degraded(requests);
+  }
+
+  std::exception_ptr last_error;
+  for (int attempt = 0; attempt <= opts_.retries; ++attempt) {
+    if (attempt > 0) {
+      if (!backoff_sleep(attempt, deadline, has_deadline)) break;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      obs_retries_.inc();
+    }
+    try {
+      auto responses = attempt_primary(requests, deadline, has_deadline);
+      on_primary_success(probing);
+      return responses;
+    } catch (const std::invalid_argument&) {
+      // Permanent: a malformed request will not get better with retries,
+      // and says nothing about backend health — no breaker effect.
+      release_probe(probing);
+      throw;
+    } catch (const DeadlineExpired&) {
+      last_error = std::current_exception();
+      break;  // the budget is spent; retrying would blow it further
+    } catch (const std::exception&) {
+      last_error = std::current_exception();  // transient: retry
+    }
+  }
+
+  on_primary_exhausted(probing);
+  if (fallback_ != nullptr) return answer_degraded(requests);
+  if (last_error) std::rethrow_exception(last_error);
+  throw std::runtime_error("ResilientBackend: primary exhausted");  // unreachable
+}
+
+std::vector<Response> ResilientBackend::attempt_primary(
+    std::span<const Request> requests,
+    std::chrono::steady_clock::time_point deadline, bool has_deadline) {
+  primary_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (!has_deadline) {
+    return primary_.query_batch(requests);
+  }
+
+  // Watchdog mode: the attempt runs on its own thread so the caller can
+  // give up at the deadline. The thread owns a *copy* of the requests —
+  // after a timeout the caller's span dies while the attempt is still
+  // running. An abandoned attempt may overlap a retry on the primary, so
+  // deadline mode requires a primary whose query_batch tolerates
+  // concurrent calls (both shipped backends are pure readers).
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::vector<Request> requests;
+    std::vector<Response> responses;
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->requests.assign(requests.begin(), requests.end());
+
+  std::thread worker([shared, this] {
+    std::vector<Response> responses;
+    std::exception_ptr error;
+    try {
+      responses = primary_.query_batch(shared->requests);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lk(shared->mu);
+    shared->responses = std::move(responses);
+    shared->error = error;
+    shared->done = true;
+    shared->cv.notify_all();
+  });
+
+  std::unique_lock<std::mutex> lk(shared->mu);
+  if (!shared->cv.wait_until(lk, deadline, [&] { return shared->done; })) {
+    lk.unlock();
+    {
+      std::lock_guard<std::mutex> alk(abandoned_mu_);
+      abandoned_.push_back(std::move(worker));
+    }
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    obs_deadline_.inc();
+    throw DeadlineExpired(
+        "ResilientBackend: primary attempt exceeded the deadline budget");
+  }
+  lk.unlock();
+  worker.join();
+  if (shared->error) std::rethrow_exception(shared->error);
+  return std::move(shared->responses);
+}
+
+bool ResilientBackend::admit_primary(bool* probing) {
+  std::lock_guard<std::mutex> lk(breaker_mu_);
+  const auto now = std::chrono::steady_clock::now();
+  if (state_ == BreakerState::kOpen && now >= open_until_) {
+    state_ = BreakerState::kHalfOpen;
+  }
+  if (state_ == BreakerState::kOpen) return false;
+  if (state_ == BreakerState::kHalfOpen) {
+    if (probe_in_flight_) return false;  // one probe at a time
+    probe_in_flight_ = true;
+    *probing = true;
+  }
+  return true;
+}
+
+void ResilientBackend::on_primary_success(bool probing) {
+  std::lock_guard<std::mutex> lk(breaker_mu_);
+  consecutive_failures_ = 0;
+  if (probing) {
+    probe_in_flight_ = false;
+    state_ = BreakerState::kClosed;
+    breaker_closes_.fetch_add(1, std::memory_order_relaxed);
+    obs_breaker_closes_.inc();
+  }
+}
+
+void ResilientBackend::on_primary_exhausted(bool probing) {
+  std::lock_guard<std::mutex> lk(breaker_mu_);
+  const auto now = std::chrono::steady_clock::now();
+  const auto cooldown = std::chrono::microseconds(opts_.breaker_cooldown_us);
+  if (probing) {
+    // Failed probe: straight back to open for another cooldown.
+    probe_in_flight_ = false;
+    state_ = BreakerState::kOpen;
+    open_until_ = now + cooldown;
+    breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+    obs_breaker_opens_.inc();
+  } else {
+    ++consecutive_failures_;
+    if (state_ == BreakerState::kClosed &&
+        consecutive_failures_ >= opts_.breaker_threshold) {
+      state_ = BreakerState::kOpen;
+      open_until_ = now + cooldown;
+      breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+      obs_breaker_opens_.inc();
+    }
+  }
+}
+
+void ResilientBackend::release_probe(bool probing) {
+  if (!probing) return;
+  std::lock_guard<std::mutex> lk(breaker_mu_);
+  probe_in_flight_ = false;  // breaker stays half-open for the next call
+}
+
+bool ResilientBackend::backoff_sleep(
+    int attempt, std::chrono::steady_clock::time_point deadline,
+    bool has_deadline) {
+  double delay = static_cast<double>(opts_.backoff_us) *
+                 std::pow(opts_.backoff_mult, attempt - 1);
+  delay = std::min(delay, static_cast<double>(opts_.backoff_cap_us));
+  double jitter = 0.0;
+  {
+    // Always draw, even when backoff is disabled: the jitter stream's
+    // position stays a pure function of the retry count, so seeded runs
+    // replay regardless of the backoff_us setting.
+    std::lock_guard<std::mutex> lk(rng_mu_);
+    jitter = static_cast<double>(rng_.uniform());
+  }
+  // Equal jitter: sleep in [delay/2, delay) — keeps some spacing while
+  // decorrelating concurrent retriers.
+  long sleep_us = static_cast<long>(delay * 0.5 + jitter * delay * 0.5);
+  if (has_deadline) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+                               deadline - std::chrono::steady_clock::now())
+                               .count();
+    if (remaining <= 0) return false;
+    sleep_us = std::min<long>(sleep_us, remaining);
+  }
+  if (sleep_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
+  return true;
+}
+
+std::vector<Response> ResilientBackend::answer_degraded(
+    std::span<const Request> requests) {
+  if (fallback_ == nullptr) {
+    throw std::runtime_error(
+        "ResilientBackend: primary unavailable (circuit open) and no "
+        "fallback configured");
+  }
+  auto responses = fallback_->query_batch(requests);
+  for (Response& r : responses) r.degraded = true;
+  fallbacks_.fetch_add(responses.size(), std::memory_order_relaxed);
+  obs_fallbacks_.inc(responses.size());
+  return responses;
+}
+
+ResilientBackend::Stats ResilientBackend::stats() const {
+  Stats out;
+  out.primary_calls = primary_calls_.load(std::memory_order_relaxed);
+  out.retries = retries_.load(std::memory_order_relaxed);
+  out.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  out.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  out.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
+  out.breaker_closes = breaker_closes_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace dance::serve

@@ -1,0 +1,165 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.h"
+#include "serve/backend.h"
+#include "util/rng.h"
+
+namespace dance::serve {
+
+/// Thrown (internally) when a primary attempt outlives the per-call
+/// deadline budget; surfaces to the caller only when there is no fallback.
+class DeadlineExpired : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Resilience decorator around a primary CostQueryBackend.
+///
+/// Per query_batch call, in order:
+///   1. Circuit breaker gate. After `breaker_threshold` *consecutive*
+///      exhausted primary calls the breaker opens and primary traffic is
+///      skipped for `breaker_cooldown_us`; the first call after the
+///      cooldown goes half-open and sends a single probe (concurrent calls
+///      keep falling back). A successful probe closes the breaker, a
+///      failed one reopens it for another cooldown.
+///   2. Primary attempt with a deadline: when `deadline_us > 0` the whole
+///      call (all attempts together) gets one budget; an attempt that
+///      outlives it is abandoned to a watchdog-owned thread (joined in the
+///      destructor) and counts as a deadline expiry, which consumes the
+///      remaining budget — no further retries.
+///   3. Bounded retry: transient failures (any std::exception except
+///      std::invalid_argument) are retried up to `retries` times with
+///      exponential backoff (base * mult^attempt, capped) plus seeded
+///      jitter, clamped to the remaining deadline. std::invalid_argument
+///      is permanent — a malformed request will not get better with
+///      retries — and is rethrown immediately with no breaker effect.
+///   4. Graceful degradation: when the primary path is exhausted (or the
+///      breaker is open) and a fallback backend was provided, the fallback
+///      answers and every response is stamped `degraded = true`. Without a
+///      fallback the last primary error propagates.
+///
+/// Un-degraded responses are the primary's, byte for byte: the decorator
+/// never rewrites a successful answer, preserving the backend determinism
+/// contract (a faulted-then-retried call returns exactly what a fault-free
+/// call would).
+///
+/// Every event mirrors into process-global obs counters:
+///   serve.resilience.retries / .fallbacks / .deadline_expired
+///   serve.resilience.breaker.opens / .breaker.closes
+///
+/// Thread-safe. Calls may come from the batcher worker and bulk callers
+/// concurrently; breaker state and the jitter Rng sit behind mutexes.
+class ResilientBackend : public CostQueryBackend {
+ public:
+  struct Options {
+    int retries = 3;          ///< retry attempts after the first try
+    long deadline_us = 0;     ///< whole-call budget; 0 disables deadlines
+    long backoff_us = 500;    ///< base backoff before retry #1
+    double backoff_mult = 2.0;
+    long backoff_cap_us = 100000;  ///< per-sleep cap
+    int breaker_threshold = 8;     ///< consecutive failures to open
+    long breaker_cooldown_us = 250000;
+    std::uint64_t jitter_seed = 0x5eed;
+
+    /// Defaults overridden by DANCE_SERVE_RETRIES, DANCE_SERVE_DEADLINE_US,
+    /// DANCE_SERVE_BACKOFF_US, DANCE_SERVE_BREAKER_THRESHOLD and
+    /// DANCE_SERVE_BREAKER_COOLDOWN_US (util::env semantics: garbage or
+    /// out-of-range values fall back to the defaults above).
+    [[nodiscard]] static Options from_env();
+  };
+
+  struct Stats {
+    std::uint64_t primary_calls = 0;  ///< attempts issued to the primary
+    std::uint64_t retries = 0;
+    std::uint64_t fallbacks = 0;  ///< responses answered degraded
+    std::uint64_t deadline_expired = 0;
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t breaker_closes = 0;
+  };
+
+  /// `fallback` may be null (no degradation tier: exhausted calls throw).
+  /// Both backends must outlive this decorator.
+  ResilientBackend(CostQueryBackend& primary, CostQueryBackend* fallback,
+                   Options opts);
+
+  /// Joins any watchdog-abandoned attempt threads. Injected hangs are
+  /// bounded sleeps, so this terminates.
+  ~ResilientBackend() override;
+
+  ResilientBackend(const ResilientBackend&) = delete;
+  ResilientBackend& operator=(const ResilientBackend&) = delete;
+
+  [[nodiscard]] std::vector<Response> query_batch(
+      std::span<const Request> requests) override;
+  [[nodiscard]] const char* name() const override { return name_.c_str(); }
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+  /// One primary attempt, possibly on a watchdog-supervised thread.
+  /// Returns the responses or throws (DeadlineExpired on budget overrun).
+  std::vector<Response> attempt_primary(
+      std::span<const Request> requests,
+      std::chrono::steady_clock::time_point deadline, bool has_deadline);
+
+  /// Breaker admission for one call. Returns false when the primary must
+  /// be skipped (open breaker / probe already in flight); sets *probing
+  /// when this call carries the half-open probe.
+  bool admit_primary(bool* probing);
+  void on_primary_success(bool probing);
+  void on_primary_exhausted(bool probing);
+  void release_probe(bool probing);
+
+  /// Backoff + jitter before retry number `attempt` (1-based), clamped to
+  /// the remaining deadline. Returns false when the budget is already gone.
+  bool backoff_sleep(int attempt,
+                     std::chrono::steady_clock::time_point deadline,
+                     bool has_deadline);
+
+  std::vector<Response> answer_degraded(std::span<const Request> requests);
+
+  CostQueryBackend& primary_;
+  CostQueryBackend* fallback_;  ///< null = no degradation tier
+  Options opts_;
+  std::string name_;
+
+  std::mutex breaker_mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  std::chrono::steady_clock::time_point open_until_{};
+
+  std::mutex rng_mu_;
+  util::Rng rng_;  ///< jitter source (seeded: backoff schedules replay)
+
+  std::mutex abandoned_mu_;
+  std::vector<std::thread> abandoned_;  ///< deadline-orphaned attempts
+
+  std::atomic<std::uint64_t> primary_calls_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> fallbacks_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> breaker_opens_{0};
+  std::atomic<std::uint64_t> breaker_closes_{0};
+  obs::Counter& obs_retries_;
+  obs::Counter& obs_fallbacks_;
+  obs::Counter& obs_deadline_;
+  obs::Counter& obs_breaker_opens_;
+  obs::Counter& obs_breaker_closes_;
+};
+
+}  // namespace dance::serve

@@ -25,6 +25,9 @@ Service::Options Service::Options::from_env() {
       util::env_int("DANCE_SERVE_MAX_BATCH", opts.batch.max_batch, 1);
   opts.batch.max_wait_us =
       util::env_long("DANCE_SERVE_MAX_WAIT_US", opts.batch.max_wait_us, 0);
+  // 0 is in range: "disable load shedding".
+  opts.batch.max_pending =
+      util::env_long("DANCE_SERVE_MAX_PENDING", opts.batch.max_pending, 0);
   return opts;
 }
 
@@ -57,7 +60,10 @@ Response Service::query(const Request& request) {
   if (!from_cache) {
     response = batcher_.query(request);
     response.cached = false;
-    if (cache_) cache_->put(key, response);
+    // Degraded (fallback-tier) answers are never memoized: once the primary
+    // recovers, a repeat of this key should fetch — and then cache — the
+    // exact answer instead of pinning the degraded one forever.
+    if (cache_ && !response.degraded) cache_->put(key, response);
   }
   response.cached = from_cache;
 
@@ -103,7 +109,8 @@ std::vector<Response> Service::query_many(std::span<const Request> requests) {
     }
     for (std::size_t m = 0; m < misses.size(); ++m) {
       answered[m].cached = false;
-      if (cache_) {
+      // Same rule as query(): degraded answers are not memoized.
+      if (cache_ && !answered[m].degraded) {
         cache_->put(canonical_key(misses[m].encoding), answered[m]);
       }
     }
@@ -172,6 +179,7 @@ std::string Service::stats_report() const {
   table.add_row({"batches", std::to_string(s.batcher.batches)});
   table.add_row({"mean batch", util::Table::fmt(s.batcher.mean_batch(), 1)});
   table.add_row({"max batch", std::to_string(s.batcher.max_batch_seen)});
+  table.add_row({"shed", std::to_string(s.batcher.shed)});
   table.add_row({"latency p50 us", util::Table::fmt(s.p50_us, 1)});
   table.add_row({"latency p95 us", util::Table::fmt(s.p95_us, 1)});
   return table.to_string(util::Table::Style::plain());

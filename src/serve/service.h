@@ -42,6 +42,8 @@ struct ServiceStats {
 ///   DANCE_SERVE_CACHE       "0" disables the cache     (default on)
 ///   DANCE_SERVE_MAX_BATCH   batch count trigger        (default 32)
 ///   DANCE_SERVE_MAX_WAIT_US batch deadline trigger     (default 200)
+///   DANCE_SERVE_MAX_PENDING load-shedding queue cap    (default 4096,
+///                           0 disables shedding)
 class Service {
  public:
   struct Options {

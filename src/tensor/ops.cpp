@@ -191,11 +191,22 @@ Variable matmul(const Variable& a, const Variable& b) {
     const float* pa = a.value().data();
     const float* pb = b.value().data();
     float* po = out.data();
+    // The zero-skip below drops the whole `av * brow` contribution when an A
+    // element is exactly 0. That is only sound while B is finite everywhere:
+    // 0 * NaN and 0 * inf must produce NaN, not silently vanish (poisoned
+    // activations have to keep propagating).
+    bool b_finite = true;
+    for (std::size_t i = 0; i < b.value().numel(); ++i) {
+      if (!std::isfinite(pb[i])) {
+        b_finite = false;
+        break;
+      }
+    }
     util::parallel_for(0, n, [&](long lo, long hi) {
       for (long i = lo; i < hi; ++i) {
         for (int kk = 0; kk < k; ++kk) {
           const float av = pa[i * k + kk];
-          if (av == 0.0F) continue;
+          if (av == 0.0F && b_finite) continue;
           const float* brow = pb + static_cast<std::ptrdiff_t>(kk) * m;
           float* orow = po + static_cast<std::ptrdiff_t>(i) * m;
           for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
@@ -228,12 +239,22 @@ Variable matmul(const Variable& a, const Variable& b) {
       // dB = A^T * dC (rows of dB are independent -> parallel over kk)
       const float* av = pa->value.data();
       float* gb = pb->grad.data();
+      // Mirror of the forward zero-skip: dropping `a_ik * grow` for a zero
+      // activation is only sound while the upstream gradient is entirely
+      // finite — 0 * NaN must poison dB, not disappear.
+      bool g_finite = true;
+      for (std::size_t i = 0; i < self.grad.numel(); ++i) {
+        if (!std::isfinite(g[i])) {
+          g_finite = false;
+          break;
+        }
+      }
       util::parallel_for(0, k, [&](long lo, long hi) {
         for (long kk = lo; kk < hi; ++kk) {
           float* gbrow = gb + static_cast<std::ptrdiff_t>(kk) * m;
           for (int i = 0; i < n; ++i) {
             const float a_ik = av[static_cast<std::ptrdiff_t>(i) * k + kk];
-            if (a_ik == 0.0F) continue;
+            if (a_ik == 0.0F && g_finite) continue;
             const float* grow = g + static_cast<std::ptrdiff_t>(i) * m;
             for (int j = 0; j < m; ++j) gbrow[j] += a_ik * grow[j];
           }

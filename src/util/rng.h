@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdint>
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 namespace dance::util {
@@ -39,7 +40,24 @@ class Rng {
   }
 
   /// Sample an index from an (unnormalized) non-negative weight vector.
+  /// Degenerate inputs are handled explicitly instead of handing
+  /// std::discrete_distribution input it leaves implementation-defined: an
+  /// empty vector throws, and an all-zero vector falls back to a uniform
+  /// draw over the indices.
   int categorical(const std::vector<float>& weights) {
+    if (weights.empty()) {
+      throw std::invalid_argument("Rng::categorical: empty weight vector");
+    }
+    bool any_positive = false;
+    for (float w : weights) {
+      if (w > 0.0F) {
+        any_positive = true;
+        break;
+      }
+    }
+    if (!any_positive) {
+      return randint(0, static_cast<int>(weights.size()) - 1);
+    }
     std::discrete_distribution<int> dist(weights.begin(), weights.end());
     return dist(engine_);
   }

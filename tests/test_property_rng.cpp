@@ -1,0 +1,85 @@
+// Property suite for util::Rng::categorical's degenerate-weight handling:
+// an empty weight vector must throw, an all-zero vector must fall back to
+// a uniform in-range draw, and any draw from a partially-positive vector
+// must land on an index whose weight is positive (std::discrete_distribution
+// left the first two cases implementation-defined, which is how the
+// original bug slipped in).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "testing/property.h"
+#include "util/rng.h"
+
+namespace testing_ = dance::testing;
+
+namespace {
+
+using namespace dance;
+
+TEST(rng_properties, CategoricalHandlesDegenerateWeightVectors) {
+  testing_::Generator<std::vector<float>> gen;
+  gen.sample = [](util::Rng& rng) {
+    const int n = rng.randint(1, 8);
+    std::vector<float> weights(static_cast<std::size_t>(n), 0.0F);
+    // Roughly half the trials are all-zero; the rest mix zero and positive.
+    if (rng.randint(0, 1) == 1) {
+      for (float& w : weights) {
+        if (rng.randint(0, 1) == 1) w = rng.uniform(0.1F, 2.0F);
+      }
+    }
+    return weights;
+  };
+  gen.show = [](const std::vector<float>& w) {
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < w.size(); ++i) os << (i ? ", " : "") << w[i];
+    os << "]";
+    return os.str();
+  };
+
+  const auto result = testing_::check<std::vector<float>>(
+      "categorical degenerate weights", gen,
+      [](const std::vector<float>& weights, util::Rng& rng) -> std::string {
+        bool any_positive = false;
+        for (float w : weights) any_positive = any_positive || w > 0.0F;
+        for (int draw = 0; draw < 16; ++draw) {
+          const int idx = rng.categorical(weights);
+          if (idx < 0 || idx >= static_cast<int>(weights.size())) {
+            return "index " + std::to_string(idx) + " out of range";
+          }
+          if (any_positive && weights[static_cast<std::size_t>(idx)] <= 0.0F) {
+            return "drew zero-weight index " + std::to_string(idx) +
+                   " despite positive weights being present";
+          }
+        }
+        return "";
+      });
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+TEST(rng_properties, CategoricalEmptyVectorAlwaysThrows) {
+  util::Rng rng(1);
+  EXPECT_THROW((void)rng.categorical({}), std::invalid_argument);
+}
+
+TEST(rng_properties, CategoricalAllZeroCoversEveryIndex) {
+  // The uniform fallback must be able to reach every index (the old
+  // behavior was implementation-defined; common implementations pinned the
+  // draw to index 0).
+  util::Rng rng(42);
+  const std::vector<float> zeros(5, 0.0F);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 400; ++i) {
+    ++seen[static_cast<std::size_t>(rng.categorical(zeros))];
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_GT(seen[static_cast<std::size_t>(i)], 0)
+        << "index " << i << " never drawn by the uniform fallback";
+  }
+}
+
+}  // namespace

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <initializer_list>
 #include <mutex>
@@ -226,6 +227,86 @@ TEST(serve_batcher, BackendExceptionReachesCaller) {
   ThrowingBackend backend;
   serve::MicroBatcher batcher(backend, {.max_batch = 2, .max_wait_us = 100});
   EXPECT_THROW((void)batcher.query(Request{{1.0F}}), std::runtime_error);
+}
+
+/// Backend whose first call blocks long enough for more requests to pile up
+/// behind the drain worker; later calls answer instantly.
+class SlowFirstCallBackend : public serve::CostQueryBackend {
+ public:
+  std::vector<Response> query_batch(
+      std::span<const Request> requests) override {
+    if (calls_.fetch_add(1) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    }
+    std::vector<Response> out;
+    out.reserve(requests.size());
+    for (const Request& r : requests) {
+      double sum = 0.0;
+      for (float v : r.encoding) sum += v;
+      out.push_back(response_with_latency(sum));
+    }
+    return out;
+  }
+  const char* name() const override { return "slow-first"; }
+
+ private:
+  std::atomic<int> calls_{0};
+};
+
+TEST(serve_batcher, LeftoverAfterPartialDrainKeepsOldestDeadline) {
+  // Regression: a request left behind by a partial drain must keep its
+  // original arrival time for the deadline trigger. The old code restarted
+  // the clock at drain time, so the leftover below paid the backend's busy
+  // window ~300 ms *plus* a fresh 400 ms wait instead of 400 ms total.
+  SlowFirstCallBackend backend;
+  serve::MicroBatcher batcher(backend, {.max_batch = 2, .max_wait_us = 400000});
+  auto query_in_thread = [&batcher](float v) {
+    return std::thread([&batcher, v] { (void)batcher.query(Request{{v}}); });
+  };
+  // A+B form the first batch (count trigger) and the backend blocks ~300 ms.
+  // C, D and E pile up behind it; on wake the worker drains C+D (count
+  // trigger again) leaving E as the partial-drain leftover.
+  std::thread a = query_in_thread(1.0F);
+  std::thread b = query_in_thread(2.0F);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread c = query_in_thread(3.0F);
+  std::thread d = query_in_thread(4.0F);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::atomic<long> e_latency_ms{0};
+  std::thread e([&] {
+    const auto start = std::chrono::steady_clock::now();
+    (void)batcher.query(Request{{5.0F}});
+    e_latency_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  });
+  for (std::thread* t : {&a, &b, &c, &d, &e}) t->join();
+  // E enqueued ~220 ms before the partial drain, so with its original
+  // deadline it answers ~400 ms after its own arrival; the pre-fix clock
+  // restart pushed that past ~620 ms. 550 ms splits the two with slack.
+  EXPECT_LT(e_latency_ms.load(), 550);
+  // The deadline trigger (not the count trigger) must have answered E.
+  EXPECT_GT(e_latency_ms.load(), 250);
+}
+
+TEST(serve_batcher, ShedsWhenPendingQueueFull) {
+  FakeBackend backend;
+  std::thread client;
+  {
+    // Count trigger unreachable (needs 3) and a 10 s deadline: the parked
+    // request holds the single pending slot for the whole test.
+    serve::MicroBatcher batcher(
+        backend,
+        {.max_batch = 3, .max_wait_us = 10'000'000, .max_pending = 1});
+    client = std::thread([&batcher] { (void)batcher.query(Request{{1.0F}}); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    EXPECT_THROW((void)batcher.query(Request{{2.0F}}), serve::Overloaded);
+    EXPECT_EQ(batcher.stats().shed, 1U);
+    // Shed requests never count toward the request/batch totals.
+    EXPECT_EQ(batcher.stats().requests, 0U);
+  }  // destructor drains the parked request, releasing the client thread
+  client.join();
+  EXPECT_EQ(backend.calls_.load(), 1U);
 }
 
 /// Small ground-truth fixture shared by the backend/service tests (same

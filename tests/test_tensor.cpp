@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "tensor/variable.h"
@@ -77,6 +80,31 @@ TEST(Autograd, MatmulBackward) {
   EXPECT_FLOAT_EQ(a.grad()[1], 4.0F);
   EXPECT_FLOAT_EQ(b.grad()[0], 1.0F);
   EXPECT_FLOAT_EQ(b.grad()[1], 2.0F);
+}
+
+TEST(Autograd, MatmulForwardPropagatesNaNAndInfThroughZeros) {
+  // Regression: the forward zero-skip dropped 0 * NaN and 0 * inf terms,
+  // silently un-poisoning results that IEEE arithmetic says are NaN.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  Variable a(Tensor::from({1, 2}, {0.0F, 1.0F}), false);
+  Variable b(Tensor::from({2, 2}, {nan, inf, 2.0F, 3.0F}), false);
+  Variable c = ops::matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.value().at(0, 0)));  // 0*NaN + 1*2
+  EXPECT_TRUE(std::isnan(c.value().at(0, 1)));  // 0*inf + 1*3
+}
+
+TEST(Autograd, MatmulBackwardPropagatesNaNGradPastZeroActivations) {
+  // Regression: the dB zero-skip dropped 0 * NaN upstream-gradient terms, so
+  // a poisoned loss produced a clean-looking (all-zero) dB for zero
+  // activations. scale-by-NaN seeds the NaN into matmul's upstream gradient.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Variable a(Tensor::from({1, 2}, {0.0F, 0.0F}), false);
+  Variable b(Tensor::from({2, 1}, {3.0F, 4.0F}), true);
+  Variable s = ops::sum_all(ops::scale(ops::matmul(a, b), nan));
+  s.backward();
+  EXPECT_TRUE(std::isnan(b.grad()[0]));
+  EXPECT_TRUE(std::isnan(b.grad()[1]));
 }
 
 TEST(Autograd, ReluMasksNegative) {

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
+#include <vector>
 
 #include "util/csv.h"
 #include "util/parallel.h"
@@ -48,6 +50,22 @@ TEST(Rng, CategoricalRespectsZeroWeights) {
   for (int i = 0; i < 200; ++i) {
     EXPECT_EQ(rng.categorical({0.0F, 1.0F, 0.0F}), 1);
   }
+}
+
+TEST(Rng, CategoricalDegenerateWeights) {
+  // Regression: std::discrete_distribution leaves empty and all-zero weight
+  // vectors implementation-defined. The contract is now explicit: empty
+  // throws, all-zero falls back to a uniform in-range draw.
+  Rng rng(3);
+  EXPECT_THROW((void)rng.categorical({}), std::invalid_argument);
+  std::vector<int> seen(3, 0);
+  for (int i = 0; i < 300; ++i) {
+    const int idx = rng.categorical({0.0F, 0.0F, 0.0F});
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, 3);
+    ++seen[static_cast<std::size_t>(idx)];
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_GT(seen[static_cast<std::size_t>(i)], 0);
 }
 
 TEST(Rng, GumbelSamplesAreFinite) {
