@@ -16,11 +16,14 @@
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "arch/cost_table.h"
+#include "evalnet/evaluator.h"
 #include "evalnet/hwgen_net.h"
 #include "hwgen/coordinate_descent.h"
 #include "hwgen/exhaustive.h"
+#include "infer/plan.h"
 #include "runtime/thread_pool.h"
 
 namespace {
@@ -126,6 +129,61 @@ void BM_HwGenNetInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HwGenNetInference)->Unit(benchmark::kMillisecond);
+
+/// The frozen-inference plan (dance::infer) answering the same single-row
+/// query the autograd paths above answer: full evaluator forward (hwgen
+/// trunk + argmax decode + cost trunk) without building a graph.
+struct PlanEnv {
+  std::unique_ptr<evalnet::Evaluator> evaluator;
+  infer::Plan plan;
+  infer::Arena arena;
+  std::vector<float> row;
+  std::vector<float> metrics;
+  std::vector<float> hw;
+
+  PlanEnv() {
+    Env& e = env();
+    util::Rng rng(9);
+    evaluator = std::make_unique<evalnet::Evaluator>(
+        e.arch_space.encoding_width(), e.hw_space, rng);
+    evaluator->set_frozen(true);
+    evaluator->set_training(false);
+    plan = infer::Plan::compile(*evaluator);
+    row = e.arch_space.encode(e.arch_space.random(rng));
+    std::vector<std::vector<float>> calib;
+    for (int i = 0; i < 64; ++i) {
+      calib.push_back(e.arch_space.encode(e.arch_space.random(rng)));
+    }
+    plan.calibrate(calib);
+    metrics.resize(3);
+    hw.resize(static_cast<std::size_t>(plan.hw_width()));
+  }
+};
+
+PlanEnv& plan_env() {
+  static PlanEnv e;
+  return e;
+}
+
+void BM_PlanFusedInference(benchmark::State& state) {
+  PlanEnv& p = plan_env();
+  for (auto _ : state) {
+    p.plan.run(p.row.data(), 1, p.metrics.data(), p.hw.data(), p.arena,
+               infer::Mode::kFused);
+    benchmark::DoNotOptimize(p.metrics.data());
+  }
+}
+BENCHMARK(BM_PlanFusedInference)->Unit(benchmark::kMillisecond);
+
+void BM_PlanInt8Inference(benchmark::State& state) {
+  PlanEnv& p = plan_env();
+  for (auto _ : state) {
+    p.plan.run(p.row.data(), 1, p.metrics.data(), p.hw.data(), p.arena,
+               infer::Mode::kInt8);
+    benchmark::DoNotOptimize(p.metrics.data());
+  }
+}
+BENCHMARK(BM_PlanInt8Inference)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

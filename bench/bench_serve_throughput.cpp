@@ -18,10 +18,19 @@
 // The serial and batched answers are checked bit-identical first — the
 // deterministic-inference contract that makes the comparison meaningful.
 //
-// Prints an ASCII table, appends bench/data/serve_throughput.csv, and runs
-// google-benchmark micros for the per-query primitives.
+// A second section compares the surrogate's inference tiers (DANCE_INFER):
+// the same single-query trace answered by the autograd graph walk, the fused
+// frozen plan, and the plan's int8 tier — QPS, p50/p95 latency, and the
+// cost-ordering agreement of each tier against the autograd reference
+// (fraction of unique-key pairs ranked the same by predicted latency; fused
+// is bit-identical so its agreement is exactly 1).
+//
+// Prints ASCII tables, writes bench/data/serve_throughput.csv and
+// bench/data/infer_tiers.csv, and runs google-benchmark micros for the
+// per-query primitives.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -34,6 +43,7 @@
 #include "evalnet/evaluator.h"
 #include "fault/fault.h"
 #include "fault/faulty_backend.h"
+#include "infer/plan.h"
 #include "serve/backend.h"
 #include "serve/resilient.h"
 #include "serve/service.h"
@@ -248,6 +258,141 @@ int main_comparison() {
   return (identical && service_identical) ? 0 : 1;
 }
 
+// --- inference tiers: autograd vs fused plan vs int8 ------------------------
+
+struct TierRow {
+  infer::Mode mode = infer::Mode::kAutograd;
+  double seconds = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  float calib_error = 0.0F;
+  float calib_agreement = 1.0F;
+};
+
+/// Replays the trace one request at a time through a backend pinned to
+/// `mode` (single-query latency is what the tiers differ most on — batching
+/// already amortizes the autograd graph walk). Also answers every unique key
+/// once, batched, into `unique_lat` for the ordering-agreement column.
+TierRow replay_tier(infer::Mode mode, std::vector<float>& unique_lat) {
+  Env& e = env();
+  serve::SurrogateBackend backend(*e.evaluator, mode);
+  TierRow row;
+  row.mode = mode;
+  std::vector<double> lat;
+  lat.reserve(e.trace.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& req : e.trace) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto resp =
+        backend.query_batch(std::span<const serve::Request>(&req, 1));
+    benchmark::DoNotOptimize(resp);
+    lat.push_back(1e6 * seconds_since(t0));
+  }
+  row.seconds = seconds_since(start);
+  std::sort(lat.begin(), lat.end());
+  row.p50_us = lat[lat.size() / 2];
+  row.p95_us = lat[std::min(lat.size() - 1, (lat.size() * 95) / 100)];
+
+  unique_lat.clear();
+  unique_lat.reserve(e.unique_keys.size());
+  std::vector<serve::Request> reqs;
+  for (std::size_t at = 0; at < e.unique_keys.size(); at += kChunk) {
+    const std::size_t hi = std::min(at + kChunk, e.unique_keys.size());
+    reqs.clear();
+    for (std::size_t i = at; i < hi; ++i) {
+      reqs.push_back(serve::Request{e.unique_keys[i]});
+    }
+    for (const auto& r : backend.query_batch(reqs)) {
+      unique_lat.push_back(static_cast<float>(r.metrics.latency_ms));
+    }
+  }
+  if (backend.plan() != nullptr && mode == infer::Mode::kInt8) {
+    row.calib_error = backend.plan()->calibration_error();
+    row.calib_agreement = backend.plan()->calibration_agreement();
+  }
+  return row;
+}
+
+/// Fraction of key pairs (over the first 512 unique keys) that `got` ranks
+/// in the same predicted-latency order as `ref`; ties must match ties.
+double ordering_agreement(const std::vector<float>& ref,
+                          const std::vector<float>& got) {
+  const std::size_t k =
+      std::min<std::size_t>(512, std::min(ref.size(), got.size()));
+  if (k < 2) return 1.0;
+  std::size_t same = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const int a = ref[i] < ref[j] ? -1 : (ref[i] > ref[j] ? 1 : 0);
+      const int b = got[i] < got[j] ? -1 : (got[i] > got[j] ? 1 : 0);
+      same += static_cast<std::size_t>(a == b);
+      ++total;
+    }
+  }
+  return static_cast<double>(same) / static_cast<double>(total);
+}
+
+int main_tiers() {
+  Env& e = env();
+  const auto n = static_cast<double>(e.trace.size());
+
+  std::vector<float> lat_autograd;
+  std::vector<float> lat_fused;
+  std::vector<float> lat_int8;
+  const TierRow autograd = replay_tier(infer::Mode::kAutograd, lat_autograd);
+  const TierRow fused = replay_tier(infer::Mode::kFused, lat_fused);
+  const TierRow int8 = replay_tier(infer::Mode::kInt8, lat_int8);
+
+  const double agree_fused = ordering_agreement(lat_autograd, lat_fused);
+  const double agree_int8 = ordering_agreement(lat_autograd, lat_int8);
+
+  util::Table table({"tier", "seconds", "QPS", "p50 us", "p95 us",
+                     "speedup", "ordering agreement"});
+  const auto add = [&](const char* name, const TierRow& row, double agree) {
+    table.add_row({name, util::Table::fmt(row.seconds, 3),
+                   util::Table::fmt(n / row.seconds, 0),
+                   util::Table::fmt(row.p50_us, 1),
+                   util::Table::fmt(row.p95_us, 1),
+                   util::Table::fmt(autograd.seconds / row.seconds, 2),
+                   util::Table::fmt(100.0 * agree, 2) + "%"});
+  };
+  add("autograd", autograd, 1.0);
+  add("fused", fused, agree_fused);
+  add("int8", int8, agree_int8);
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("int8 calibration self-check: worst error %.2f%% of column "
+              "range, config agreement %.1f%%\n",
+              100.0 * int8.calib_error, 100.0 * int8.calib_agreement);
+  const double fused_speedup = autograd.seconds / fused.seconds;
+  std::printf("fused single-query speedup over autograd: %.1fx %s\n\n",
+              fused_speedup,
+              fused_speedup >= 2.0 ? "(>= 2x target met)"
+                                   : "(below 2x target)");
+
+  util::CsvWriter csv(bench::data_path("infer_tiers.csv"),
+                      {"tier", "requests", "seconds", "qps", "p50_us",
+                       "p95_us", "speedup_vs_autograd",
+                       "cost_ordering_agreement", "calib_error",
+                       "calib_agreement"});
+  const std::string nreq = std::to_string(e.trace.size());
+  const auto row = [&](const char* name, const TierRow& r, double agree) {
+    csv.add_row({name, nreq, util::Table::fmt(r.seconds, 4),
+                 util::Table::fmt(n / r.seconds, 1),
+                 util::Table::fmt(r.p50_us, 2), util::Table::fmt(r.p95_us, 2),
+                 util::Table::fmt(autograd.seconds / r.seconds, 2),
+                 util::Table::fmt(agree, 4),
+                 util::Table::fmt(r.calib_error, 4),
+                 util::Table::fmt(r.calib_agreement, 4)});
+  };
+  row("autograd", autograd, 1.0);
+  row("fused", fused, agree_fused);
+  row("int8", int8, agree_int8);
+  csv.flush();
+  std::printf("wrote %s\n\n", bench::data_path("infer_tiers.csv").c_str());
+  return agree_fused == 1.0 ? 0 : 1;
+}
+
 // --- google-benchmark micros for the per-query primitives -------------------
 
 void BM_SerialForwardDeterministic(benchmark::State& state) {
@@ -311,7 +456,12 @@ int main(int argc, char** argv) {
               dance::bench::scaled(10000),
               std::max(1, dance::bench::scaled(10000) / 8), kChunk);
   const int rc = main_comparison();
+  std::printf("== surrogate inference tiers: autograd vs fused plan vs int8 "
+              "(DANCE_INFER) ==\n");
+  std::printf("single-query replay of the same trace per tier; ordering "
+              "agreement vs autograd over 512 unique keys.\n\n");
+  const int tier_rc = main_tiers();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return rc;
+  return rc != 0 ? rc : tier_rc;
 }

@@ -4,12 +4,24 @@
 // is closed-form, the other walks tiles and pays pipeline fill/drain), but
 // the orderings that drive co-exploration agree.
 //
+// A closing section times the *surrogate* cost backend on its active
+// inference tier (DANCE_INFER=autograd|fused|int8; the tier is printed in
+// the banner and the end-of-run report).
+//
 // Run: ./build/examples/backend_comparison
+#include <chrono>
 #include <cstdio>
+#include <memory>
+#include <span>
+#include <vector>
 
 #include "accel/cost_model.h"
 #include "accel/systolic_sim.h"
 #include "arch/space.h"
+#include "evalnet/evaluator.h"
+#include "infer/plan.h"
+#include "serve/backend.h"
+#include "util/rng.h"
 #include "util/table.h"
 
 int main() {
@@ -22,8 +34,10 @@ int main() {
   accel::CostModel model;
   accel::SystolicSimulator sim;
 
-  std::printf("Backend comparison on %zu conv layers (%.1f MMACs)\n\n",
+  std::printf("Backend comparison on %zu conv layers (%.1f MMACs)\n",
               layers.size(), static_cast<double>(space.macs(net)) / 1e6);
+  std::printf("surrogate inference tier: %s (DANCE_INFER)\n\n",
+              infer::to_string(infer::mode_from_env()));
 
   util::Table t({"Config", "Analytical lat(ms)", "Simulated lat(ms)",
                  "Analytical E(mJ)", "Simulated E(mJ)"});
@@ -54,6 +68,36 @@ int main() {
                util::Table::fmt(bd.gb_cycles, 0),
                util::Table::fmt(bd.dram_cycles, 0)});
   }
-  std::printf("%s", b.to_string().c_str());
+  std::printf("%s\n", b.to_string().c_str());
+
+  // Surrogate backend on the active inference tier: time single-query
+  // answers (untrained weights — the numbers are meaningless, the cost of
+  // producing them is the point).
+  {
+    hwgen::HwSearchSpace hw_space;
+    util::Rng rng(17);
+    auto evaluator = std::make_unique<evalnet::Evaluator>(
+        space.encoding_width(), hw_space, rng);
+    serve::SurrogateBackend backend(*evaluator);
+    std::vector<serve::Request> reqs;
+    for (int i = 0; i < 256; ++i) {
+      reqs.push_back(serve::Request{space.encode(space.random(rng))});
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t answered = 0;
+    for (const auto& req : reqs) {
+      answered +=
+          backend.query_batch(std::span<const serve::Request>(&req, 1)).size();
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::printf("Surrogate single-query cost on the '%s' tier: %zu queries "
+                "in %.3f ms (%.0f QPS)\n",
+                infer::to_string(backend.infer_mode()), answered, 1e3 * secs,
+                static_cast<double>(answered) / secs);
+    std::printf("[backend_comparison] active inference tier: %s\n",
+                infer::to_string(backend.infer_mode()));
+  }
   return 0;
 }

@@ -15,6 +15,9 @@
 //
 // Flags:
 //   --backend=exact|surrogate  ground-truth LUT (default) or the evaluator
+//                              (the surrogate's inference tier follows
+//                              DANCE_INFER=autograd|fused|int8 and is printed
+//                              in the banner and the EOF report)
 //   --small                    tiny hardware space (fast startup; CI smoke)
 //   --hwgen-ckpt=PATH          load HwGenNet weights  (surrogate only)
 //   --cost-ckpt=PATH           load CostNet weights   (surrogate only)
@@ -47,6 +50,7 @@
 #include "evalnet/evaluator.h"
 #include "fault/fault.h"
 #include "fault/faulty_backend.h"
+#include "infer/plan.h"
 #include "obs/span.h"
 #include "serve/backend.h"
 #include "serve/resilient.h"
@@ -169,6 +173,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<arch::CostTable> table;
   std::unique_ptr<evalnet::Evaluator> evaluator;
   std::unique_ptr<serve::CostQueryBackend> backend;
+  serve::SurrogateBackend* surrogate = nullptr;  // for tier reporting
   if (backend_name == "exact") {
     table = std::make_unique<arch::CostTable>(arch_space, hw_space, model);
     backend = std::make_unique<serve::ExactBackend>(*table, accel::edap_cost());
@@ -183,7 +188,9 @@ int main(int argc, char** argv) {
                    "[serve_jsonl] note: surrogate backend running with "
                    "untrained weights (pass --hwgen-ckpt/--cost-ckpt)\n");
     }
-    backend = std::make_unique<serve::SurrogateBackend>(*evaluator);
+    auto sb = std::make_unique<serve::SurrogateBackend>(*evaluator);
+    surrogate = sb.get();
+    backend = std::move(sb);
   }
 
   // Fault injection: --fault wins over DANCE_FAULT; either installs the
@@ -234,8 +241,16 @@ int main(int argc, char** argv) {
   }
 
   serve::Service service(*serving);  // options from DANCE_SERVE_* env
-  std::fprintf(stderr, "[serve_jsonl] backend=%s, reading JSON lines from stdin\n",
-               serving->name());
+  if (surrogate != nullptr) {
+    std::fprintf(stderr,
+                 "[serve_jsonl] backend=%s (inference tier: %s, DANCE_INFER), "
+                 "reading JSON lines from stdin\n",
+                 serving->name(), infer::to_string(surrogate->infer_mode()));
+  } else {
+    std::fprintf(stderr,
+                 "[serve_jsonl] backend=%s, reading JSON lines from stdin\n",
+                 serving->name());
+  }
   const std::string metrics_path = util::env_string("DANCE_METRICS_JSON", "");
   if (!metrics_path.empty()) {
     std::fprintf(stderr, "[serve_jsonl] metrics will be exported to %s at exit\n",
@@ -291,6 +306,14 @@ int main(int argc, char** argv) {
   }
 
   std::fputs(service.stats_report().c_str(), stderr);
+  if (surrogate != nullptr) {
+    std::fprintf(stderr, "[serve_jsonl] surrogate inference tier: %s\n",
+                 infer::to_string(surrogate->infer_mode()));
+  }
+  if (fallback) {
+    std::fprintf(stderr, "[serve_jsonl] fallback surrogate inference tier: %s\n",
+                 infer::to_string(fallback->infer_mode()));
+  }
   if (resilient) {
     const auto rs = resilient->stats();
     std::fprintf(stderr,

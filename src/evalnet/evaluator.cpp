@@ -48,25 +48,53 @@ Evaluator::Output Evaluator::forward_deterministic(
   return out;
 }
 
-Evaluator::Output Evaluator::forward_batch(
+tensor::Tensor Evaluator::stack_rows(
     const std::vector<std::vector<float>>& rows) {
   if (rows.empty()) {
-    throw std::invalid_argument("Evaluator::forward_batch: empty batch");
+    throw std::invalid_argument("Evaluator::stack_rows: empty batch");
   }
   const std::size_t width = rows.front().size();
   for (const auto& r : rows) {
     if (r.size() != width) {
       throw std::invalid_argument(
-          "Evaluator::forward_batch: rows have unequal widths");
+          "Evaluator::stack_rows: rows have unequal widths");
     }
   }
+  // One [N, W] allocation sized up front; rows land via memcpy. Both the
+  // batched autograd path and the fused plan path stack through here, so
+  // batch layout (and its validation) has exactly one implementation.
   tensor::Tensor stacked(
       {static_cast<int>(rows.size()), static_cast<int>(width)});
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::memcpy(stacked.data() + i * width, rows[i].data(),
                 width * sizeof(float));
   }
-  return forward_deterministic(tensor::Variable(std::move(stacked)));
+  return stacked;
+}
+
+Evaluator::Output Evaluator::forward_batch(
+    const std::vector<std::vector<float>>& rows) {
+  return forward_deterministic(tensor::Variable(stack_rows(rows)));
+}
+
+FrozenEvaluator Evaluator::freeze() {
+  if (training_) {
+    throw std::logic_error(
+        "Evaluator::freeze: requires eval mode (set_training(false)); a "
+        "frozen plan must reproduce the eval-mode batch-norm path");
+  }
+  FrozenEvaluator f;
+  f.hwgen_trunk = hwgen_->freeze_trunk();
+  f.cost_trunk = cost_->freeze_trunk();
+  f.head_ranges = hwgen_->head_ranges();
+  const auto& scale = cost_->output_scale();
+  for (std::size_t i = 0; i < 3; ++i) {
+    f.output_scale[i] = static_cast<float>(scale[i]);
+  }
+  f.feature_forwarding = cost_->feature_forwarding();
+  f.arch_width = f.hwgen_trunk.in_dim;
+  f.hw_width = f.hwgen_trunk.out_dim;
+  return f;
 }
 
 void Evaluator::set_frozen(bool frozen) {

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <array>
+#include <utility>
+
+#include "nn/freeze.h"
+
+namespace dance::evalnet {
+
+/// Value snapshot of a whole evaluator checkpoint in inference form — both
+/// trunks flattened to FrozenMlp schedules plus the non-network state the
+/// deterministic forward depends on (head boundaries, output scale, feature
+/// forwarding). Produced by Evaluator::freeze(); consumed by
+/// infer::Plan::compile. Owning copies: recompiling after further training
+/// or a checkpoint load requires a fresh freeze().
+struct FrozenEvaluator {
+  nn::FrozenMlp hwgen_trunk;  ///< arch encoding -> head logits
+  nn::FrozenMlp cost_trunk;   ///< [arch | hw one-hot] -> raw metrics
+  /// {begin, end} logit columns of the four hardware heads
+  /// (PEX | PEY | RF | dataflow), HwGenNet::head_ranges order.
+  std::array<std::pair<int, int>, 4> head_ranges{};
+  /// Per-metric output scales the cost trunk's raw output is multiplied by
+  /// (CostNet::output_scale, already narrowed to the float the op applies).
+  std::array<float, 3> output_scale{1.0F, 1.0F, 1.0F};
+  bool feature_forwarding = true;
+  int arch_width = 0;  ///< evaluator input width
+  int hw_width = 0;    ///< one-hot hardware encoding width
+};
+
+}  // namespace dance::evalnet

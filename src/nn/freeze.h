@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dance::nn {
+
+/// Frozen parameter snapshots — the export surface the dance::infer compiler
+/// consumes. Each struct is a value-type copy of a module's inference-time
+/// state taken at freeze() time: the compiler never reaches into module
+/// private state, and later training steps or checkpoint loads do not
+/// retroactively change an already-compiled plan.
+
+/// Linear layer y = xW + b.
+struct FrozenLinear {
+  tensor::Tensor weight;  ///< [in, out], row-major
+  tensor::Tensor bias;    ///< [out]; numel()==0 when the layer has no bias
+  int in = 0;
+  int out = 0;
+
+  [[nodiscard]] bool has_bias() const { return bias.numel() > 0; }
+};
+
+/// Eval-mode batch norm: y = gamma * (x - mean) * inv_std + beta with
+/// inv_std = 1 / sqrt(running_var + eps). `inv_std` is precomputed here with
+/// exactly the expression tensor::ops::batchnorm uses in eval mode, so a
+/// consumer applying the affine form above stays bit-identical to the op.
+struct FrozenBatchNorm {
+  tensor::Tensor gamma;    ///< [features]
+  tensor::Tensor beta;     ///< [features]
+  tensor::Tensor mean;     ///< [features], running mean
+  tensor::Tensor inv_std;  ///< [features], 1 / sqrt(running_var + eps)
+  float eps = 0.0F;
+};
+
+/// One fused inference step of a ResidualMlp: Linear, then optional batch
+/// norm, then optional ReLU, then optional residual add of the layer input.
+/// The trunk layout (mlp.h) maps onto this as
+///   input layer:   {linear, bn?, relu,  residual=false}
+///   hidden blocks: {linear, bn?, relu,  residual=true}
+///   output head:   {linear, -,   relu=false, residual=false}
+struct FrozenMlpLayer {
+  FrozenLinear linear;
+  FrozenBatchNorm norm;  ///< valid iff has_norm
+  bool has_norm = false;
+  bool relu = false;
+  bool residual = false;
+};
+
+/// A whole ResidualMlp flattened into a linear schedule of FrozenMlpLayer
+/// steps, in execution order.
+struct FrozenMlp {
+  std::vector<FrozenMlpLayer> layers;
+  int in_dim = 0;
+  int hidden_dim = 0;
+  int out_dim = 0;
+};
+
+}  // namespace dance::nn

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "runtime/profiler.h"
+#include "tensor/gemm.h"
 #include "util/parallel.h"
 
 namespace dance::tensor::ops {
@@ -188,31 +189,13 @@ Variable matmul(const Variable& a, const Variable& b) {
   Tensor out({n, m});
   {
     DANCE_PROFILE_SCOPE("tensor.matmul");
-    const float* pa = a.value().data();
-    const float* pb = b.value().data();
-    float* po = out.data();
-    // The zero-skip below drops the whole `av * brow` contribution when an A
-    // element is exactly 0. That is only sound while B is finite everywhere:
-    // 0 * NaN and 0 * inf must produce NaN, not silently vanish (poisoned
-    // activations have to keep propagating).
-    bool b_finite = true;
-    for (std::size_t i = 0; i < b.value().numel(); ++i) {
-      if (!std::isfinite(pb[i])) {
-        b_finite = false;
-        break;
-      }
-    }
-    util::parallel_for(0, n, [&](long lo, long hi) {
-      for (long i = lo; i < hi; ++i) {
-        for (int kk = 0; kk < k; ++kk) {
-          const float av = pa[i * k + kk];
-          if (av == 0.0F && b_finite) continue;
-          const float* brow = pb + static_cast<std::ptrdiff_t>(kk) * m;
-          float* orow = po + static_cast<std::ptrdiff_t>(i) * m;
-          for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
-        }
-      }
-    }, /*grain=*/std::max(1L, 65536L / std::max(1, k * m)));
+    // Shared blocked kernel (tensor/gemm.h): cache-tiled, pool-partitioned,
+    // bit-identical to the historical naive loop — including the zero-skip
+    // that is only sound while B is finite everywhere (0 * NaN and 0 * inf
+    // must produce NaN, not silently vanish; poisoned activations have to
+    // keep propagating). The dance::infer plan executor runs the same
+    // kernel, which is what makes fused inference bit-identical to this op.
+    gemm::gemm(a.value().data(), b.value().data(), out.data(), n, k, m);
   }
   return make_result(std::move(out), {a.node(), b.node()}, [n, k, m](Node& self) {
     DANCE_PROFILE_SCOPE("tensor.matmul.bwd");
