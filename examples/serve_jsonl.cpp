@@ -36,12 +36,10 @@
 //     --hwgen-ckpt=evaluator_hwgen.ckpt --cost-ckpt=evaluator_cost.ckpt < q.jsonl
 //   ./build/examples/serve_jsonl --small --resilient
 //     --fault='backend:error=0.2,latency=0.1:2000' < q.jsonl
-#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -55,75 +53,16 @@
 #include "serve/backend.h"
 #include "serve/resilient.h"
 #include "serve/service.h"
+#include "serve/wire.h"
 #include "util/env.h"
 
 namespace {
 
 using namespace dance;
 
-// --- Minimal JSON-lines request parsing -------------------------------------
-// The request grammar is one flat object of scalars and float arrays; a
-// hand-rolled scanner keeps the example dependency-free.
-
-/// Finds `"key"` and returns the offset just past the following ':', or
-/// npos when the key is absent.
-std::size_t after_key(const std::string& line, const char* key) {
-  const std::string quoted = std::string("\"") + key + "\"";
-  const std::size_t at = line.find(quoted);
-  if (at == std::string::npos) return std::string::npos;
-  const std::size_t colon = line.find(':', at + quoted.size());
-  return colon == std::string::npos ? std::string::npos : colon + 1;
-}
-
-std::optional<long> parse_long_field(const std::string& line, const char* key) {
-  const std::size_t from = after_key(line, key);
-  if (from == std::string::npos) return std::nullopt;
-  char* end = nullptr;
-  const long v = std::strtol(line.c_str() + from, &end, 10);
-  if (end == line.c_str() + from) return std::nullopt;
-  return v;
-}
-
-/// Parses the array value of `key`: '[' number (',' number)* ']'.
-std::optional<std::vector<float>> parse_array_field(const std::string& line,
-                                                    const char* key) {
-  std::size_t at = after_key(line, key);
-  if (at == std::string::npos) return std::nullopt;
-  while (at < line.size() && std::isspace(static_cast<unsigned char>(line[at]))) {
-    ++at;
-  }
-  if (at >= line.size() || line[at] != '[') return std::nullopt;
-  ++at;
-  std::vector<float> values;
-  while (true) {
-    while (at < line.size() &&
-           (std::isspace(static_cast<unsigned char>(line[at])) || line[at] == ',')) {
-      ++at;
-    }
-    if (at >= line.size()) return std::nullopt;  // unterminated array
-    if (line[at] == ']') return values;
-    char* end = nullptr;
-    const float v = std::strtof(line.c_str() + at, &end);
-    if (end == line.c_str() + at) return std::nullopt;
-    values.push_back(v);
-    at = static_cast<std::size_t>(end - line.c_str());
-  }
-}
-
-void print_error(long id, const char* message) {
-  std::printf("{\"id\": %ld, \"error\": \"%s\"}\n", id, message);
-}
-
-void print_response(long id, const serve::Response& r) {
-  std::printf(
-      "{\"id\": %ld, \"latency_ms\": %.6g, \"energy_mj\": %.6g, "
-      "\"area_mm2\": %.6g, \"pe_x\": %d, \"pe_y\": %d, \"rf_size\": %d, "
-      "\"dataflow\": \"%s\", \"cached\": %s, \"degraded\": %s}\n",
-      id, r.metrics.latency_ms, r.metrics.energy_mj, r.metrics.area_mm2,
-      r.config.pe_x, r.config.pe_y, r.config.rf_size,
-      accel::to_string(r.config.dataflow).c_str(), r.cached ? "true" : "false",
-      r.degraded ? "true" : "false");
-}
+// Request parsing and response serialization live in serve::wire — the same
+// code path the socket servers (src/net, src/cluster) speak, so this
+// stdin front-end and a cluster shard produce byte-identical lines.
 
 const char* flag_value(const char* arg, const char* flag) {
   const std::size_t n = std::strlen(flag);
@@ -260,48 +199,10 @@ int main(int argc, char** argv) {
   obs::ScopedSpan stream_span("serve_jsonl.stream");
   std::string line;
   while (std::getline(std::cin, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    const long id = parse_long_field(line, "id").value_or(-1);
-
-    std::vector<float> encoding;
-    if (auto enc = parse_array_field(line, "encoding")) {
-      encoding = std::move(*enc);
-    } else if (auto ops = parse_array_field(line, "arch")) {
-      if (static_cast<int>(ops->size()) != arch_space.num_searchable()) {
-        print_error(id, "arch must list one op index per searchable slot");
-        continue;
-      }
-      arch::Architecture a;
-      bool ok = true;
-      for (float v : *ops) {
-        const int op = static_cast<int>(v);
-        if (op < 0 || op >= arch::kNumCandidateOps ||
-            static_cast<float>(op) != v) {
-          ok = false;
-          break;
-        }
-        a.push_back(arch::kAllCandidateOps[static_cast<std::size_t>(op)]);
-      }
-      if (!ok) {
-        print_error(id, "arch entries must be integer op indices in [0, 6]");
-        continue;
-      }
-      encoding = arch_space.encode(a);
-    } else {
-      print_error(id, "request needs an 'encoding' or 'arch' array");
-      continue;
-    }
-
-    if (static_cast<int>(encoding.size()) != arch_space.encoding_width()) {
-      print_error(id, "encoding has the wrong width");
-      continue;
-    }
-    try {
-      obs::ScopedSpan request_span("serve_jsonl.request");
-      print_response(id, service.query(serve::Request{std::move(encoding)}));
-    } catch (const std::exception& e) {
-      print_error(id, e.what());
-    }
+    const std::string out = serve::wire::answer_line(line, arch_space, service);
+    if (out.empty()) continue;  // blank input line: no response owed
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    std::fputc('\n', stdout);
     std::fflush(stdout);
   }
 

@@ -1,0 +1,121 @@
+#include "cluster/router.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "serve/types.h"
+#include "serve/wire.h"
+
+namespace dance::cluster {
+
+namespace {
+
+std::vector<int> ids_of(const std::vector<Router::ShardAddress>& shards) {
+  std::vector<int> ids;
+  ids.reserve(shards.size());
+  for (const auto& s : shards) ids.push_back(s.id);
+  return ids;
+}
+
+}  // namespace
+
+Router::Options Router::Options::from_env() {
+  Options o;
+  o.net = net::Server::Options::from_env();
+  o.client = net::Client::Options::from_env();
+  o.vnodes = HashRing::vnodes_from_env();
+  return o;
+}
+
+Router::Router(const arch::ArchSpace& space, std::vector<ShardAddress> shards,
+               Options opts)
+    : space_(space),
+      ring_(ids_of(shards), opts.vnodes),
+      opts_(std::move(opts)),
+      server_([this](const std::string& line) { return handle_line(line); },
+              opts_.net),
+      obs_forwarded_(obs::Registry::global().counter("cluster.router.forwarded")),
+      obs_parse_errors_(
+          obs::Registry::global().counter("cluster.router.parse_errors")),
+      obs_shard_errors_(
+          obs::Registry::global().counter("cluster.router.shard_errors")) {
+  if (shards.empty()) {
+    throw std::invalid_argument("Router needs at least one shard");
+  }
+  shards_.reserve(shards.size());
+  for (auto& s : shards) {
+    auto st = std::make_unique<ShardState>();
+    st->address = std::move(s);
+    shards_.push_back(std::move(st));
+  }
+}
+
+net::Endpoint Router::start(const net::Endpoint& listen_at) {
+  return server_.start(listen_at);
+}
+
+bool Router::drain_and_stop(long drain_timeout_ms) {
+  const bool drained = server_.drain(drain_timeout_ms);
+  server_.stop();
+  return drained;
+}
+
+int Router::shard_for_key(const std::vector<float>& canonical_key) const {
+  return ring_.lookup_key(canonical_key);
+}
+
+Router::ShardState& Router::state_for(int shard_id) {
+  for (const auto& st : shards_) {
+    if (st->address.id == shard_id) return *st;
+  }
+  throw std::logic_error("ring returned an unknown shard id");
+}
+
+std::string Router::forward(ShardState& shard, const std::string& line) {
+  // Borrow a client from the shard's pool (or open a fresh connection when
+  // every pooled one is in use); return it on success. A failed client is
+  // dropped, not returned — its connection state is suspect.
+  std::unique_ptr<net::Client> client;
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    if (!shard.idle.empty()) {
+      client = std::move(shard.idle.back());
+      shard.idle.pop_back();
+    }
+  }
+  if (!client) {
+    client =
+        std::make_unique<net::Client>(shard.address.endpoint, opts_.client);
+  }
+  std::string response = client->roundtrip(line);
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.idle.push_back(std::move(client));
+  }
+  return response;
+}
+
+std::string Router::handle_line(const std::string& line) {
+  if (serve::wire::is_blank(line)) return "";
+  const serve::wire::ParseOutcome parsed =
+      serve::wire::parse_request(line, space_);
+  if (!parsed.ok) {
+    // Answered locally — same wire::error_line bytes a shard would emit.
+    obs_parse_errors_.inc();
+    return serve::wire::error_line(parsed.request.id, parsed.error);
+  }
+  const int shard_id =
+      ring_.lookup_key(serve::canonical_key(parsed.request.encoding));
+  try {
+    std::string response = forward(state_for(shard_id), line);
+    obs_forwarded_.inc();
+    return response;
+  } catch (const net::NetError& e) {
+    obs_shard_errors_.inc();
+    return serve::wire::error_line(
+        parsed.request.id,
+        "shard " + std::to_string(shard_id) + " unavailable: " + e.what());
+  }
+}
+
+}  // namespace dance::cluster

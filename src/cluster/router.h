@@ -1,0 +1,103 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arch/space.h"
+#include "cluster/ring.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace dance::cluster {
+
+/// The thin routing tier: a net::Server that consistent-hashes each
+/// request's canonical key across the shard set and forwards the RAW
+/// request line to the owning shard, relaying the shard's response bytes
+/// untouched.
+///
+/// Why raw-line forwarding: the shard re-parses through the same
+/// serve::wire code the router used for routing, so the router adds no
+/// second serialization step that could perturb bytes — a cluster answer is
+/// the shard's answer is serve_jsonl's answer. Malformed lines never reach
+/// a shard; the router answers them locally with the same wire::error_line
+/// bytes a shard would have produced.
+///
+/// Because routing is a pure function of (key, shard set), identical keys
+/// always land on the same shard, which makes the per-shard caches as
+/// effective as a single process's cache: no key is cached twice, and the
+/// "cached" flag in responses matches single-process behavior over any
+/// replay.
+///
+/// Forwarding uses a per-shard pool of retrying net::Clients (borrowed per
+/// request, so concurrent handler threads never share a connection). A
+/// shard that stays unreachable after the client's retry budget yields an
+/// error line naming the shard.
+///
+/// Obs counters: cluster.router.{forwarded,parse_errors,shard_errors}.
+class Router {
+ public:
+  struct ShardAddress {
+    int id = 0;
+    net::Endpoint endpoint;
+  };
+
+  struct Options {
+    net::Server::Options net;       ///< the router's own listener
+    net::Client::Options client;    ///< per-forward retry policy
+    int vnodes = 64;
+
+    /// net/client knobs from their own from_env();
+    /// vnodes from DANCE_CLUSTER_VNODES.
+    [[nodiscard]] static Options from_env();
+  };
+
+  /// `space` must outlive the Router. `shards` must be non-empty.
+  Router(const arch::ArchSpace& space, std::vector<ShardAddress> shards,
+         Options opts);
+  Router(const arch::ArchSpace& space, std::vector<ShardAddress> shards)
+      : Router(space, std::move(shards), Options::from_env()) {}
+
+  /// Binds and serves. Returns the bound endpoint.
+  net::Endpoint start(const net::Endpoint& listen_at);
+  /// Graceful drain of in-flight forwards, then teardown.
+  bool drain_and_stop(long drain_timeout_ms = -1);
+
+  /// The full per-line pipeline (parse -> route -> forward), exposed so
+  /// tests and in-process callers can route without a listener.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// Which shard id owns `canonical_key` (serve::canonical_key output) —
+  /// the routing decision, exposed for the shard-selection tests.
+  [[nodiscard]] int shard_for_key(const std::vector<float>& canonical_key) const;
+
+  [[nodiscard]] const HashRing& ring() const { return ring_; }
+  [[nodiscard]] net::Server::Stats net_stats() const { return server_.stats(); }
+  [[nodiscard]] const net::Endpoint& endpoint() const {
+    return server_.endpoint();
+  }
+
+ private:
+  struct ShardState {
+    ShardAddress address;
+    std::mutex mu;
+    std::vector<std::unique_ptr<net::Client>> idle;  ///< connection pool
+  };
+
+  /// Forward `line` to the shard owning it; returns the response line.
+  std::string forward(ShardState& shard, const std::string& line);
+  ShardState& state_for(int shard_id);
+
+  const arch::ArchSpace& space_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  HashRing ring_;
+  Options opts_;
+  net::Server server_;
+
+  obs::Counter& obs_forwarded_;
+  obs::Counter& obs_parse_errors_;
+  obs::Counter& obs_shard_errors_;
+};
+
+}  // namespace dance::cluster

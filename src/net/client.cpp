@@ -1,0 +1,70 @@
+#include "net/client.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/env.h"
+
+namespace dance::net {
+
+Client::Options Client::Options::from_env() {
+  Options opts;
+  opts.retries = util::env_int("DANCE_CLUSTER_RETRIES", opts.retries, 0, 1000);
+  opts.backoff_us =
+      util::env_long("DANCE_CLUSTER_BACKOFF_US", opts.backoff_us, 0);
+  opts.dial_timeout_ms =
+      util::env_long("DANCE_CLUSTER_DIAL_TIMEOUT_MS", opts.dial_timeout_ms, 1);
+  return opts;
+}
+
+Client::Client(Endpoint ep, Options opts)
+    : ep_(std::move(ep)),
+      opts_(opts),
+      obs_retries_(obs::Registry::global().counter("cluster.client.retries")),
+      obs_failures_(
+          obs::Registry::global().counter("cluster.client.failures")) {}
+
+void Client::close() {
+  fd_.reset();
+  reader_.reset();
+}
+
+void Client::ensure_connected() {
+  if (fd_.valid()) return;
+  fd_ = dial_retry(ep_, opts_.dial_timeout_ms);
+  reader_ = std::make_unique<LineReader>();
+}
+
+std::string Client::roundtrip(const std::string& payload) {
+  const std::string frame = encode_line(payload);
+  ++stats_.roundtrips;
+  std::string last_error;
+  for (int attempt = 0; attempt <= opts_.retries; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      obs_retries_.inc();
+      if (opts_.backoff_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(opts_.backoff_us * attempt));
+      }
+    }
+    try {
+      ensure_connected();
+      write_all(fd_.get(), frame.data(), frame.size());
+      if (auto line = read_line(fd_.get(), *reader_)) return *line;
+      // Orderly EOF instead of a response: the server dropped us (drain,
+      // injected read fault, protocol error) — retry on a new connection.
+      last_error = "connection closed before a response arrived";
+    } catch (const NetError& e) {
+      last_error = e.what();
+    }
+    close();
+  }
+  ++stats_.failures;
+  obs_failures_.inc();
+  throw NetError("roundtrip to " + ep_.to_string() + " failed after " +
+                 std::to_string(opts_.retries + 1) + " attempts: " +
+                 last_error);
+}
+
+}  // namespace dance::net

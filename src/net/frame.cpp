@@ -1,0 +1,70 @@
+#include "net/frame.h"
+
+namespace dance::net {
+
+std::string encode_line(std::string_view payload) {
+  if (payload.find('\n') != std::string_view::npos) {
+    throw NetError("encode_line: payload contains the line terminator");
+  }
+  std::string out;
+  out.reserve(payload.size() + 1);
+  out.append(payload);
+  out.push_back('\n');
+  return out;
+}
+
+void LineReader::feed(const char* data, std::size_t n) {
+  buf_.append(data, n);
+  // The oversize check only needs to look at the trailing incomplete line,
+  // but a cheap conservative test (whole buffer small) skips the scan on the
+  // hot path.
+  if (buf_.size() - head_ > max_line_bytes_) {
+    const std::size_t last_nl = buf_.find_last_of('\n');
+    const std::size_t tail_begin =
+        last_nl == std::string::npos || last_nl < head_ ? head_ : last_nl + 1;
+    if (buf_.size() - tail_begin > max_line_bytes_) {
+      throw NetError("line exceeds max_line_bytes (" +
+                     std::to_string(max_line_bytes_) + ")");
+    }
+  }
+}
+
+std::optional<std::string> LineReader::next_line() {
+  const std::size_t nl = buf_.find('\n', head_);
+  if (nl == std::string::npos) {
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection does not grow its buffer without bound.
+    if (head_ > 4096 && head_ > buf_.size() / 2) {
+      buf_.erase(0, head_);
+      head_ = 0;
+    }
+    return std::nullopt;
+  }
+  std::size_t end = nl;
+  if (end > head_ && buf_[end - 1] == '\r') --end;
+  std::string line = buf_.substr(head_, end - head_);
+  head_ = nl + 1;
+  if (head_ == buf_.size()) {
+    buf_.clear();
+    head_ = 0;
+  }
+  return line;
+}
+
+std::optional<std::string> read_line(int fd, LineReader& reader) {
+  if (auto line = reader.next_line()) return line;
+  char buf[4096];
+  while (true) {
+    const std::size_t n = read_some(fd, buf, sizeof(buf));
+    if (n == 0) {
+      if (reader.buffered() > 0) {
+        throw NetError("connection closed mid-line (truncated frame)");
+      }
+      return std::nullopt;
+    }
+    reader.feed(buf, n);
+    if (auto line = reader.next_line()) return line;
+  }
+}
+
+}  // namespace dance::net

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/socket.h"
+
+namespace dance::net {
+
+/// Frame encoding for the wire protocol: one request or response per
+/// '\n'-terminated line. `encode_line` is the only way bytes should enter a
+/// socket — it rejects payloads that already contain the terminator, which
+/// would silently desync the stream into two frames.
+[[nodiscard]] std::string encode_line(std::string_view payload);
+
+/// Incremental line reassembly over arbitrary read boundaries.
+///
+/// `feed` accepts whatever a socket read produced — half a line, three
+/// lines and a prefix, one byte — and `next_line` yields each completed
+/// line exactly once, terminator stripped (a trailing '\r' is stripped too,
+/// so telnet-style clients work). Bytes after the last terminator stay
+/// buffered for the next feed; `buffered` reports how many.
+///
+/// A line longer than `max_line_bytes` (terminator exclusive) raises
+/// NetError from `feed`: an unbounded unterminated line is either a broken
+/// or a hostile peer, and the server closes the connection rather than
+/// buffering without limit.
+class LineReader {
+ public:
+  explicit LineReader(std::size_t max_line_bytes = 1 << 20)
+      : max_line_bytes_(max_line_bytes) {}
+
+  void feed(const char* data, std::size_t n);
+  void feed(std::string_view data) { feed(data.data(), data.size()); }
+
+  /// The next complete line, or nullopt when none is buffered.
+  [[nodiscard]] std::optional<std::string> next_line();
+
+  /// Bytes of the trailing incomplete line currently buffered.
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - head_; }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string buf_;
+  std::size_t head_ = 0;  ///< consumed prefix of buf_ (compacted lazily)
+};
+
+/// Blocking convenience used by clients: reads from `fd` until the reader
+/// yields a line. Returns nullopt on orderly EOF with nothing buffered;
+/// EOF in the middle of a line is a truncated frame and throws NetError.
+[[nodiscard]] std::optional<std::string> read_line(int fd, LineReader& reader);
+
+}  // namespace dance::net

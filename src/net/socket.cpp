@@ -1,0 +1,197 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+namespace dance::net {
+
+namespace {
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in tcp_addr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("bad IPv4 address: " + ep.host);
+  }
+  return addr;
+}
+
+sockaddr_un unix_addr(const Endpoint& ep) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (ep.path.empty() || ep.path.size() >= sizeof(addr.sun_path)) {
+    throw NetError("unix socket path empty or too long: " + ep.path);
+  }
+  std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+  return addr;
+}
+
+Fd make_socket(const Endpoint& ep) {
+  const int domain = ep.kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+  Fd fd(::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) raise_errno("socket");
+  return fd;
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(const std::string& text) {
+  if (text.rfind("unix:", 0) == 0) {
+    const std::string path = text.substr(5);
+    if (path.empty()) {
+      throw std::invalid_argument("Endpoint: empty unix path in '" + text + "'");
+    }
+    return unix_path(path);
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    const std::string rest = text.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw std::invalid_argument("Endpoint: expected tcp:HOST:PORT, got '" +
+                                  text + "'");
+    }
+    const std::string port_text = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (port_text.empty() || end != port_text.c_str() + port_text.size() ||
+        port < 0 || port > 65535) {
+      throw std::invalid_argument("Endpoint: bad port in '" + text + "'");
+    }
+    return tcp(rest.substr(0, colon), static_cast<int>(port));
+  }
+  throw std::invalid_argument(
+      "Endpoint: expected tcp:HOST:PORT or unix:PATH, got '" + text + "'");
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Fd listen_on(const Endpoint& ep, int backlog) {
+  Fd fd = make_socket(ep);
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in addr = tcp_addr(ep);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      raise_errno("bind " + ep.to_string());
+    }
+  } else {
+    ::unlink(ep.path.c_str());  // stale socket from a previous run
+    const sockaddr_un addr = unix_addr(ep);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      raise_errno("bind " + ep.to_string());
+    }
+  }
+  if (::listen(fd.get(), backlog) != 0) raise_errno("listen " + ep.to_string());
+  return fd;
+}
+
+Endpoint local_endpoint(int fd, const Endpoint& requested) {
+  if (requested.kind == Endpoint::Kind::kUnix) return requested;
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    raise_errno("getsockname");
+  }
+  Endpoint bound = requested;
+  bound.port = static_cast<int>(ntohs(addr.sin_port));
+  return bound;
+}
+
+Fd dial(const Endpoint& ep) {
+  Fd fd = make_socket(ep);
+  int rc = 0;
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    const sockaddr_in addr = tcp_addr(ep);
+    do {
+      rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+  } else {
+    const sockaddr_un addr = unix_addr(ep);
+    do {
+      rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+  }
+  if (rc != 0) raise_errno("connect " + ep.to_string());
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    const int one = 1;  // request/response lines want low latency, not Nagle
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+Fd dial_retry(const Endpoint& ep, long timeout_ms, long backoff_us) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    try {
+      return dial(ep);
+    } catch (const NetError&) {
+      if (std::chrono::steady_clock::now() >= deadline) throw;
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+  }
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) raise_errno("fcntl(F_GETFL)");
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) != 0) raise_errno("fcntl(F_SETFL)");
+}
+
+void write_all(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, -1);
+      if (pr < 0 && errno != EINTR) raise_errno("poll(POLLOUT)");
+      continue;
+    }
+    raise_errno("send");
+  }
+}
+
+std::size_t read_some(int fd, char* buf, std::size_t n) {
+  while (true) {
+    const ssize_t rc = ::read(fd, buf, n);
+    if (rc >= 0) return static_cast<std::size_t>(rc);
+    if (errno == EINTR) continue;
+    raise_errno("read");
+  }
+}
+
+}  // namespace dance::net

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace dance::net {
+
+/// Connection-level failure: dial refused, peer reset, write to a dead
+/// socket, oversized frame. A plain runtime_error subtype so resilience
+/// code (the retrying Client, the Router) can treat network trouble like
+/// any other transient backend failure while tests catch it by exact type.
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Where a server listens or a client dials. Two transports:
+///   tcp:HOST:PORT   e.g. tcp:127.0.0.1:9000 (port 0 = kernel-assigned;
+///                   the bound Endpoint reports the concrete port)
+///   unix:PATH       e.g. unix:/tmp/dance.sock
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+
+  Kind kind = Kind::kTcp;
+  std::string host = "127.0.0.1";  ///< tcp only
+  int port = 0;                    ///< tcp only
+  std::string path;                ///< unix only
+
+  /// Parses the textual form above. Throws std::invalid_argument on
+  /// anything else (unknown scheme, missing port, empty path).
+  [[nodiscard]] static Endpoint parse(const std::string& text);
+
+  [[nodiscard]] static Endpoint tcp(std::string host, int port) {
+    Endpoint e;
+    e.kind = Kind::kTcp;
+    e.host = std::move(host);
+    e.port = port;
+    return e;
+  }
+  [[nodiscard]] static Endpoint unix_path(std::string path) {
+    Endpoint e;
+    e.kind = Kind::kUnix;
+    e.path = std::move(path);
+    return e;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Move-only RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates, binds and listens. For unix endpoints a stale socket file at the
+/// path is unlinked first (the caller owns the path). Throws NetError.
+[[nodiscard]] Fd listen_on(const Endpoint& ep, int backlog);
+
+/// The endpoint a listening fd is actually bound to: resolves tcp port 0 to
+/// the kernel-assigned port; unix endpoints come back as requested.
+[[nodiscard]] Endpoint local_endpoint(int fd, const Endpoint& requested);
+
+/// One blocking connect attempt. Throws NetError on failure.
+[[nodiscard]] Fd dial(const Endpoint& ep);
+
+/// Redials with `backoff_us` sleeps until success or `timeout_ms` elapses
+/// (then rethrows the last failure). The way callers wait for a server that
+/// is still starting up.
+[[nodiscard]] Fd dial_retry(const Endpoint& ep, long timeout_ms,
+                            long backoff_us = 20000);
+
+void set_nonblocking(int fd, bool on);
+
+/// Writes all `n` bytes: loops over short writes and EINTR, polls for
+/// writability on EAGAIN (so it is safe on the server's non-blocking
+/// connection fds), and sends with MSG_NOSIGNAL so a dead peer surfaces as
+/// NetError(EPIPE) instead of killing the process.
+void write_all(int fd, const char* data, std::size_t n);
+
+/// One read: returns the byte count, 0 on orderly EOF; retries EINTR.
+/// Throws NetError on connection errors. On a non-blocking fd EAGAIN is
+/// reported as NetError too — the epoll server uses raw ::read instead.
+[[nodiscard]] std::size_t read_some(int fd, char* buf, std::size_t n);
+
+}  // namespace dance::net

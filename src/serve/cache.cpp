@@ -67,6 +67,20 @@ ShardedLruCache::Stats ShardedLruCache::stats() const {
   return out;
 }
 
+std::vector<std::pair<ShardedLruCache::Key, Response>>
+ShardedLruCache::entries() const {
+  std::vector<std::pair<Key, Response>> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    // lru front is most recent; emit back-to-front so a replay of put()
+    // calls ends with the most recent entry freshest.
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+      out.push_back(*it);
+    }
+  }
+  return out;
+}
+
 void ShardedLruCache::clear() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard->mu);

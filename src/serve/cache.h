@@ -61,6 +61,13 @@ class ShardedLruCache {
   [[nodiscard]] Stats stats() const;
   void clear();
 
+  /// Every entry, least-recently-used first within each internal shard, so
+  /// replaying `put` in the returned order reproduces contents *and*
+  /// per-shard recency (exactly, when the reloading cache has the same
+  /// shard count; approximately otherwise — cross-shard order is
+  /// arbitrary either way). This is the cluster snapshot export path.
+  [[nodiscard]] std::vector<std::pair<Key, Response>> entries() const;
+
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] int num_shards() const { return static_cast<int>(shards_.size()); }
 

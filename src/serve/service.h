@@ -87,6 +87,9 @@ class Service {
 
   [[nodiscard]] const Options& options() const { return opts_; }
   [[nodiscard]] CostQueryBackend& backend() { return batcher_.backend(); }
+  /// The memoization cache, or nullptr when disabled. Exposed so the
+  /// cluster snapshot layer can export/restore entries for warm starts.
+  [[nodiscard]] ShardedLruCache* cache() { return cache_.get(); }
 
  private:
   void record_latency_us(double us);

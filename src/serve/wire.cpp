@@ -1,0 +1,137 @@
+#include "serve/wire.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "arch/ops.h"
+#include "obs/span.h"
+
+namespace dance::serve::wire {
+
+namespace {
+
+/// Finds `"key"` and returns the offset just past the following ':', or
+/// npos when the key is absent.
+std::size_t after_key(const std::string& line, const char* key) {
+  const std::string quoted = std::string("\"") + key + "\"";
+  const std::size_t at = line.find(quoted);
+  if (at == std::string::npos) return std::string::npos;
+  const std::size_t colon = line.find(':', at + quoted.size());
+  return colon == std::string::npos ? std::string::npos : colon + 1;
+}
+
+}  // namespace
+
+std::optional<long> parse_long_field(const std::string& line,
+                                     const char* key) {
+  const std::size_t from = after_key(line, key);
+  if (from == std::string::npos) return std::nullopt;
+  char* end = nullptr;
+  const long v = std::strtol(line.c_str() + from, &end, 10);
+  if (end == line.c_str() + from) return std::nullopt;
+  return v;
+}
+
+std::optional<std::vector<float>> parse_array_field(const std::string& line,
+                                                    const char* key) {
+  std::size_t at = after_key(line, key);
+  if (at == std::string::npos) return std::nullopt;
+  while (at < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[at]))) {
+    ++at;
+  }
+  if (at >= line.size() || line[at] != '[') return std::nullopt;
+  ++at;
+  std::vector<float> values;
+  while (true) {
+    while (at < line.size() &&
+           (std::isspace(static_cast<unsigned char>(line[at])) ||
+            line[at] == ',')) {
+      ++at;
+    }
+    if (at >= line.size()) return std::nullopt;  // unterminated array
+    if (line[at] == ']') return values;
+    char* end = nullptr;
+    const float v = std::strtof(line.c_str() + at, &end);
+    if (end == line.c_str() + at) return std::nullopt;
+    values.push_back(v);
+    at = static_cast<std::size_t>(end - line.c_str());
+  }
+}
+
+bool is_blank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+ParseOutcome parse_request(const std::string& line,
+                           const arch::ArchSpace& space) {
+  ParseOutcome out;
+  out.request.id = parse_long_field(line, "id").value_or(-1);
+
+  if (auto enc = parse_array_field(line, "encoding")) {
+    out.request.encoding = std::move(*enc);
+  } else if (auto ops = parse_array_field(line, "arch")) {
+    if (static_cast<int>(ops->size()) != space.num_searchable()) {
+      out.error = "arch must list one op index per searchable slot";
+      return out;
+    }
+    arch::Architecture a;
+    for (float v : *ops) {
+      const int op = static_cast<int>(v);
+      if (op < 0 || op >= arch::kNumCandidateOps ||
+          static_cast<float>(op) != v) {
+        out.error = "arch entries must be integer op indices in [0, 6]";
+        return out;
+      }
+      a.push_back(arch::kAllCandidateOps[static_cast<std::size_t>(op)]);
+    }
+    out.request.encoding = space.encode(a);
+  } else {
+    out.error = "request needs an 'encoding' or 'arch' array";
+    return out;
+  }
+
+  if (static_cast<int>(out.request.encoding.size()) != space.encoding_width()) {
+    out.error = "encoding has the wrong width";
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+std::string response_line(long id, const Response& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"id\": %ld, \"latency_ms\": %.6g, \"energy_mj\": %.6g, "
+      "\"area_mm2\": %.6g, \"pe_x\": %d, \"pe_y\": %d, \"rf_size\": %d, "
+      "\"dataflow\": \"%s\", \"cached\": %s, \"degraded\": %s}",
+      id, r.metrics.latency_ms, r.metrics.energy_mj, r.metrics.area_mm2,
+      r.config.pe_x, r.config.pe_y, r.config.rf_size,
+      accel::to_string(r.config.dataflow).c_str(), r.cached ? "true" : "false",
+      r.degraded ? "true" : "false");
+  return buf;
+}
+
+std::string error_line(long id, const std::string& message) {
+  return "{\"id\": " + std::to_string(id) + ", \"error\": \"" + message +
+         "\"}";
+}
+
+std::string answer_line(const std::string& line, const arch::ArchSpace& space,
+                        Service& service) {
+  if (is_blank(line)) return "";
+  const ParseOutcome parsed = parse_request(line, space);
+  if (!parsed.ok) return error_line(parsed.request.id, parsed.error);
+  try {
+    obs::ScopedSpan request_span("serve.wire.request");
+    return response_line(parsed.request.id,
+                         service.query(Request{parsed.request.encoding}));
+  } catch (const std::exception& e) {
+    return error_line(parsed.request.id, e.what());
+  }
+}
+
+}  // namespace dance::serve::wire

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/space.h"
+#include "serve/service.h"
+#include "serve/types.h"
+
+namespace dance::serve::wire {
+
+/// The JSON-lines wire protocol shared by every front-end — the stdin
+/// example (examples/serve_jsonl), the socket shard servers and the cluster
+/// router all parse and serialize through these functions, so a request
+/// answered over any transport produces byte-identical lines (the cluster
+/// CI smoke literally `diff`s them).
+///
+/// Request (one object per line, whitespace-insensitive, keys any order):
+///   {"id": 1, "arch": [0, 3, 6, 0, 1, 2, 4, 5, 0]}   per-slot op indices
+///   {"id": 2, "encoding": [1.0, 0.0, ...]}           raw evaluator encoding
+/// Response:
+///   {"id": 1, "latency_ms": ..., "energy_mj": ..., "area_mm2": ...,
+///    "pe_x": 16, "pe_y": 16, "rf_size": 32, "dataflow": "RS",
+///    "cached": false, "degraded": false}
+/// Errors:
+///   {"id": 1, "error": "..."}   (id -1 when the request carried none)
+
+/// Low-level field scanners (exposed for tests and bespoke front-ends).
+/// `parse_long_field` reads the integer value of `key`; `parse_array_field`
+/// reads a float array value '[' number (',' number)* ']'.
+[[nodiscard]] std::optional<long> parse_long_field(const std::string& line,
+                                                   const char* key);
+[[nodiscard]] std::optional<std::vector<float>> parse_array_field(
+    const std::string& line, const char* key);
+
+/// True for lines with nothing but whitespace — skipped, never answered.
+[[nodiscard]] bool is_blank(const std::string& line);
+
+/// A validated request: the id (-1 when absent) and the evaluator encoding,
+/// already checked against the space (op-index range, encoding width).
+struct ParsedRequest {
+  long id = -1;
+  std::vector<float> encoding;
+};
+
+/// Outcome of parsing one line: either a valid request or the error message
+/// the caller must answer with (via `error_line(id, error)`).
+struct ParseOutcome {
+  bool ok = false;
+  ParsedRequest request;
+  std::string error;
+};
+
+[[nodiscard]] ParseOutcome parse_request(const std::string& line,
+                                         const arch::ArchSpace& space);
+
+/// Serializers. Exact output bytes are part of the protocol contract:
+/// floats go through "%.6g", booleans are literal true/false.
+[[nodiscard]] std::string response_line(long id, const Response& response);
+[[nodiscard]] std::string error_line(long id, const std::string& message);
+
+/// The full per-line pipeline: parse, query the service, serialize — the
+/// single code path behind every front-end. Returns the response (or
+/// error) line without a terminator, or an empty string for blank input
+/// (no response owed). Service exceptions (Overloaded, backend failures)
+/// become error lines; this function does not throw.
+[[nodiscard]] std::string answer_line(const std::string& line,
+                                      const arch::ArchSpace& space,
+                                      Service& service);
+
+}  // namespace dance::serve::wire
