@@ -25,6 +25,13 @@
 //   --backend=exact|surrogate   per-shard backend          (default exact)
 //   --small              tiny hardware space (fast startup; CI smoke)
 //   --snapshot-dir=DIR   per-shard warm-start snapshots (shard_<id>.snap)
+//   --registry=DIR       registry mode: every shard serves pinned,
+//                        generation-scoped queries out of the checkpoint
+//                        registry in DIR (docs/registry.md). SIGHUP to the
+//                        router hot-reloads every shard; --backend and
+//                        --snapshot-dir do not apply.
+//   --model=NAME         registry mode: default model        (default
+//                        "default"; requests may override per line)
 //   --shard-id=K         internal (shard role)
 //
 // Example:
@@ -53,6 +60,9 @@
 #include "fault/fault.h"
 #include "net/client.h"
 #include "net/socket.h"
+#include "registry/registry.h"
+#include "registry/serving.h"
+#include "registry/shadow.h"
 #include "serve/backend.h"
 #include "serve/service.h"
 #include "serve/wire.h"
@@ -75,6 +85,8 @@ struct Args {
   std::string connect;
   std::string backend = "exact";
   std::string snapshot_dir;
+  std::string registry_dir;
+  std::string model = "default";
   bool small = false;
 };
 
@@ -82,20 +94,27 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--shards=N] [--listen=EP] [--backend=exact|"
                "surrogate] [--small] [--snapshot-dir=DIR]\n"
+               "       %s [--shards=N] [--listen=EP] --registry=DIR "
+               "[--model=NAME] [--small]\n"
                "       %s --client --connect=EP\n"
                "  EP is tcp:HOST:PORT or unix:PATH\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
   return 2;
 }
 
-// --- SIGTERM/SIGINT -> self-pipe --------------------------------------------
-// The handler only writes one byte; all shutdown logic runs on the main
-// thread, blocked in read(2) on the pipe.
+// --- signals -> self-pipe ---------------------------------------------------
+// The handler only writes one byte; all shutdown/reload logic runs on the
+// main thread, blocked in read(2) on the pipe. SIGTERM/SIGINT write
+// kSignalStop; SIGHUP writes kSignalReload (registry hot reload — the
+// router forwards it to every shard, shards re-read the MANIFEST).
+
+constexpr char kSignalStop = 1;
+constexpr char kSignalReload = 2;
 
 int g_signal_pipe[2] = {-1, -1};
 
-void on_signal(int) {
-  const char byte = 1;
+void on_signal(int sig) {
+  const char byte = sig == SIGHUP ? kSignalReload : kSignalStop;
   // Best effort; a full pipe already means a pending wakeup.
   (void)!write(g_signal_pipe[1], &byte, 1);
 }
@@ -108,15 +127,18 @@ void arm_signal_pipe() {
   struct sigaction sa{};
   sa.sa_handler = on_signal;
   sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
   sigaction(SIGTERM, &sa, nullptr);
   sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGHUP, &sa, nullptr);
   signal(SIGPIPE, SIG_IGN);
 }
 
-void wait_for_signal() {
-  char byte;
+char wait_for_signal() {
+  char byte = kSignalStop;
   while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
   }
+  return byte;
 }
 
 // --- shard backend construction ---------------------------------------------
@@ -161,7 +183,85 @@ std::string shard_socket_path(const net::Endpoint& listen, int shard_id) {
 
 // --- roles ------------------------------------------------------------------
 
+// Registry-mode shard: the same ShardServer transport, but every line goes
+// through the registry front-end (pin -> generation-scoped cache -> wire)
+// via Options::handler_override instead of the plain pipeline. SIGHUP
+// (forwarded by the router) hot-reloads the MANIFEST without stopping the
+// server; in-flight queries finish on the generation they pinned.
+int run_shard_registry(const Args& args) {
+  arm_signal_pipe();
+  arch::ArchSpace arch_space(arch::cifar10_backbone());
+  hwgen::HwSearchSpace hw_space;
+  if (args.small) {
+    hw_space = hwgen::HwSearchSpace({.pe_min = 8, .pe_max = 12, .rf_min = 8,
+                                     .rf_max = 32, .rf_step = 8});
+  }
+  registry::ModelRegistry reg(args.registry_dir, hw_space);
+  registry::RegistryBackend backend;
+  serve::Service service(backend);
+  std::unique_ptr<registry::ShadowMirror> shadow;
+  const auto shadow_opts = registry::ShadowMirror::Options::from_env();
+  if (shadow_opts.pct > 0.0) {
+    shadow = std::make_unique<registry::ShadowMirror>(reg, shadow_opts);
+  }
+  registry::Frontend frontend(reg, service, args.model, shadow.get());
+
+  cluster::ShardServer::Options opts = cluster::ShardServer::Options::from_env();
+  // Generation-scoped cache keys don't fit the snapshot format's
+  // width-derived layout; registry shards always start cold.
+  opts.snapshot_path.clear();
+  opts.handler_override = [&frontend, &arch_space](const std::string& line) {
+    return frontend.answer_line(line, arch_space);
+  };
+  cluster::ShardServer shard(service, arch_space, opts);
+  const net::Endpoint bound = shard.start(net::Endpoint::parse(args.listen));
+  std::fprintf(stderr,
+               "[shard %d] serving on %s (registry=%s, model=%s, live gen "
+               "%llu)\n",
+               args.shard_id, bound.to_string().c_str(),
+               args.registry_dir.c_str(), args.model.c_str(),
+               static_cast<unsigned long long>(
+                   reg.live_generation(args.model)));
+
+  for (;;) {
+    const char byte = wait_for_signal();
+    if (byte != kSignalReload) break;
+    try {
+      const std::size_t swaps = frontend.reload();
+      std::fprintf(stderr, "[shard %d] SIGHUP reload: %zu swaps\n",
+                   args.shard_id, swaps);
+    } catch (const std::exception& e) {
+      // A half-published MANIFEST must not take the shard down; keep
+      // serving the pinned generations and retry on the next HUP.
+      std::fprintf(stderr, "[shard %d] reload failed: %s\n", args.shard_id,
+                   e.what());
+    }
+  }
+  shard.drain_and_stop();
+  if (shadow != nullptr) {
+    shadow->drain();
+    const auto s = shadow->stats();
+    std::fprintf(stderr,
+                 "[shard %d] shadow: sampled=%llu mirrored=%llu "
+                 "disagreements=%llu agreement_rate=%.3f\n",
+                 args.shard_id, static_cast<unsigned long long>(s.sampled),
+                 static_cast<unsigned long long>(s.mirrored),
+                 static_cast<unsigned long long>(s.disagreements),
+                 s.agreement_rate());
+  }
+  const auto stats = shard.net_stats();
+  std::fprintf(stderr,
+               "[shard %d] drained: requests=%llu accepted=%llu "
+               "protocol_errors=%llu\n",
+               args.shard_id, static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.protocol_errors));
+  std::fputs(service.stats_report().c_str(), stderr);
+  return 0;
+}
+
 int run_shard(const Args& args) {
+  if (!args.registry_dir.empty()) return run_shard_registry(args);
   arm_signal_pipe();
   ShardStack stack(args.backend, args.small);
   cluster::ShardServer::Options opts = cluster::ShardServer::Options::from_env();
@@ -175,7 +275,9 @@ int run_shard(const Args& args) {
                args.shard_id, bound.to_string().c_str(), args.backend.c_str(),
                shard.warm_entries());
 
-  wait_for_signal();
+  while (wait_for_signal() == kSignalReload) {
+    // Plain shards have nothing to reload; ignore and keep serving.
+  }
   shard.drain_and_stop();
   const auto stats = shard.net_stats();
   std::fprintf(stderr,
@@ -208,6 +310,10 @@ int run_router(const Args& args, const char* argv0) {
     if (args.small) child_args.push_back("--small");
     if (!args.snapshot_dir.empty()) {
       child_args.push_back("--snapshot-dir=" + args.snapshot_dir);
+    }
+    if (!args.registry_dir.empty()) {
+      child_args.push_back("--registry=" + args.registry_dir);
+      child_args.push_back("--model=" + args.model);
     }
     const pid_t pid = fork();
     if (pid < 0) {
@@ -248,7 +354,15 @@ int run_router(const Args& args, const char* argv0) {
   std::fprintf(stderr, "[serve_cluster] router on %s, %d shards ready\n",
                bound.to_string().c_str(), args.shards);
 
-  wait_for_signal();
+  for (;;) {
+    const char byte = wait_for_signal();
+    if (byte != kSignalReload) break;
+    // Registry hot reload: fan the HUP out to every shard; each re-reads
+    // the shared MANIFEST. The router itself holds no model state.
+    std::fprintf(stderr, "[serve_cluster] SIGHUP -> %zu shards\n",
+                 children.size());
+    for (pid_t pid : children) kill(pid, SIGHUP);
+  }
   std::fprintf(stderr, "[serve_cluster] draining...\n");
   router.drain_and_stop();
   for (pid_t pid : children) kill(pid, SIGTERM);
@@ -304,6 +418,10 @@ int main(int argc, char** argv) {
       args.backend = v;
     } else if (const char* v = flag_value(argv[i], "--snapshot-dir=")) {
       args.snapshot_dir = v;
+    } else if (const char* v = flag_value(argv[i], "--registry=")) {
+      args.registry_dir = v;
+    } else if (const char* v = flag_value(argv[i], "--model=")) {
+      args.model = v;
     } else if (std::strcmp(argv[i], "--small") == 0) {
       args.small = true;
     } else if (std::strcmp(argv[i], "--client") == 0) {
@@ -315,6 +433,12 @@ int main(int argc, char** argv) {
   }
   if (args.backend != "exact" && args.backend != "surrogate") {
     std::fprintf(stderr, "--backend must be exact or surrogate\n");
+    return 2;
+  }
+  if (!args.registry_dir.empty() && !args.snapshot_dir.empty()) {
+    std::fprintf(stderr,
+                 "--registry and --snapshot-dir are mutually exclusive "
+                 "(registry cache keys are generation-scoped)\n");
     return 2;
   }
   if (client_mode) {

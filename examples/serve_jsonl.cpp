@@ -28,6 +28,21 @@
 //                              DANCE_SERVE_* knobs); with --backend=exact a
 //                              surrogate fallback tier is built so faulted
 //                              queries degrade instead of erroring
+//   --registry=DIR             serve from a model registry (docs/registry.md)
+//                              instead of a single backend: requests pin the
+//                              live generation of --model (or the request's
+//                              own "model" field), {"cmd": "reload"} and
+//                              SIGHUP hot-swap externally published
+//                              generations, and responses carry
+//                              "generation". Mutually exclusive with
+//                              --backend/--fault/--resilient. Shadow A/B
+//                              mirroring follows DANCE_REGISTRY_SHADOW_PCT.
+//   --model=NAME               default model for --registry (default:
+//                              "default")
+//   --recalibrate              with --registry: label served queries with
+//                              exact ground truth on a background thread and
+//                              publish fine-tuned candidate generations
+//                              (DANCE_REGISTRY_RECAL_* knobs)
 //
 // Examples:
 //   printf '{"id":1,"arch":[0,1,2,3,4,5,6,0,1]}\n' |
@@ -36,6 +51,7 @@
 //     --hwgen-ckpt=evaluator_hwgen.ckpt --cost-ckpt=evaluator_cost.ckpt < q.jsonl
 //   ./build/examples/serve_jsonl --small --resilient
 //     --fault='backend:error=0.2,latency=0.1:2000' < q.jsonl
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -50,6 +66,10 @@
 #include "fault/faulty_backend.h"
 #include "infer/plan.h"
 #include "obs/span.h"
+#include "registry/recalibrate.h"
+#include "registry/registry.h"
+#include "registry/serving.h"
+#include "registry/shadow.h"
 #include "serve/backend.h"
 #include "serve/resilient.h"
 #include "serve/service.h"
@@ -59,6 +79,20 @@
 namespace {
 
 using namespace dance;
+
+volatile std::sig_atomic_t g_reload_requested = 0;
+
+void on_sighup(int) { g_reload_requested = 1; }
+
+/// SIGHUP triggers a registry reload between lines. SA_RESTART keeps the
+/// blocking getline from failing with EINTR mid-stream.
+void arm_sighup() {
+  struct sigaction sa{};
+  sa.sa_handler = on_sighup;
+  sa.sa_flags = SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGHUP, &sa, nullptr);
+}
 
 // Request parsing and response serialization live in serve::wire — the same
 // code path the socket servers (src/net, src/cluster) speak, so this
@@ -76,8 +110,11 @@ int main(int argc, char** argv) {
   std::string hwgen_ckpt;
   std::string cost_ckpt;
   std::string fault_spec_text;
+  std::string registry_dir;
+  std::string model_name = "default";
   bool small = false;
   bool resilient_mode = false;
+  bool recalibrate = false;
   for (int i = 1; i < argc; ++i) {
     if (const char* v = flag_value(argv[i], "--backend=")) {
       backend_name = v;
@@ -87,6 +124,12 @@ int main(int argc, char** argv) {
       cost_ckpt = v;
     } else if (const char* v = flag_value(argv[i], "--fault=")) {
       fault_spec_text = v;
+    } else if (const char* v = flag_value(argv[i], "--registry=")) {
+      registry_dir = v;
+    } else if (const char* v = flag_value(argv[i], "--model=")) {
+      model_name = v;
+    } else if (std::strcmp(argv[i], "--recalibrate") == 0) {
+      recalibrate = true;
     } else if (std::strcmp(argv[i], "--resilient") == 0) {
       resilient_mode = true;
     } else if (std::strcmp(argv[i], "--small") == 0) {
@@ -100,6 +143,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--backend must be exact or surrogate\n");
     return 2;
   }
+  if (!registry_dir.empty() &&
+      (resilient_mode || !fault_spec_text.empty())) {
+    std::fprintf(stderr,
+                 "--registry is mutually exclusive with --fault/--resilient\n");
+    return 2;
+  }
+  if (recalibrate && registry_dir.empty()) {
+    std::fprintf(stderr, "--recalibrate requires --registry\n");
+    return 2;
+  }
 
   arch::ArchSpace arch_space(arch::cifar10_backbone());
   const hwgen::HwSearchSpace hw_space =
@@ -107,6 +160,98 @@ int main(int argc, char** argv) {
                                     .rf_max = 32, .rf_step = 8})
             : hwgen::HwSearchSpace();
   accel::CostModel model;
+
+  if (!registry_dir.empty()) {
+    // Registry serving path: pinned generations, hot reload, shadow A/B,
+    // optional continual recalibration. Kept as its own straight-line block
+    // — the single-backend path below stays byte-identical to what the
+    // cluster smoke diffs against.
+    try {
+      registry::ModelRegistry reg(registry_dir, hw_space);
+      registry::RegistryBackend backend;
+      serve::Service service(backend);  // options from DANCE_SERVE_* env
+
+      const auto shadow_opts = registry::ShadowMirror::Options::from_env();
+      std::unique_ptr<registry::ShadowMirror> shadow;
+      if (shadow_opts.pct > 0.0) {
+        shadow = std::make_unique<registry::ShadowMirror>(reg, shadow_opts);
+      }
+      std::unique_ptr<arch::CostTable> oracle_table;
+      std::unique_ptr<serve::ExactBackend> oracle;
+      std::unique_ptr<registry::Recalibrator> recal;
+      if (recalibrate) {
+        oracle_table =
+            std::make_unique<arch::CostTable>(arch_space, hw_space, model);
+        oracle = std::make_unique<serve::ExactBackend>(*oracle_table,
+                                                       accel::edap_cost());
+        recal = std::make_unique<registry::Recalibrator>(
+            reg, model_name, *oracle, registry::Recalibrator::Options::from_env());
+      }
+      registry::Frontend frontend(reg, service, model_name, shadow.get(),
+                                  recal.get());
+      arm_sighup();
+      std::fprintf(stderr,
+                   "[serve_jsonl] registry=%s model=%s live_generation=%llu "
+                   "shadow_pct=%g recalibrate=%s, reading JSON lines from "
+                   "stdin (SIGHUP or {\"cmd\": \"reload\"} hot-swaps)\n",
+                   registry_dir.c_str(), model_name.c_str(),
+                   static_cast<unsigned long long>(
+                       reg.live_generation(model_name)),
+                   shadow_opts.pct, recalibrate ? "on" : "off");
+
+      obs::ScopedSpan stream_span("serve_jsonl.stream");
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        if (g_reload_requested != 0) {
+          g_reload_requested = 0;
+          try {
+            const std::size_t swaps = frontend.reload();
+            std::fprintf(stderr, "[serve_jsonl] SIGHUP reload: %zu swaps\n",
+                         swaps);
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "[serve_jsonl] SIGHUP reload failed: %s\n",
+                         e.what());
+          }
+        }
+        const std::string out = frontend.answer_line(line, arch_space);
+        if (out.empty()) continue;
+        std::fwrite(out.data(), 1, out.size(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+      }
+
+      if (shadow) {
+        shadow->drain();
+        const auto ss = shadow->stats();
+        std::fprintf(stderr,
+                     "[serve_jsonl] shadow: sampled=%llu mirrored=%llu "
+                     "disagreements=%llu agreement_rate=%.3f "
+                     "order_agreement_rate=%.3f\n",
+                     static_cast<unsigned long long>(ss.sampled),
+                     static_cast<unsigned long long>(ss.mirrored),
+                     static_cast<unsigned long long>(ss.disagreements),
+                     ss.agreement_rate(), ss.order_agreement_rate());
+      }
+      if (recal) {
+        const std::uint64_t published = recal->train_now();  // final flush
+        const auto rs = recal->stats();
+        std::fprintf(stderr,
+                     "[serve_jsonl] recalibration: observed=%llu labeled=%llu "
+                     "trainings=%llu last_candidate_generation=%llu%s\n",
+                     static_cast<unsigned long long>(rs.observed),
+                     static_cast<unsigned long long>(rs.labeled),
+                     static_cast<unsigned long long>(rs.trainings),
+                     static_cast<unsigned long long>(rs.last_published),
+                     published != 0 ? " (published at EOF)" : "");
+      }
+      std::fputs(service.stats_report().c_str(), stderr);
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[serve_jsonl] registry startup failed: %s\n",
+                   e.what());
+      return 1;
+    }
+  }
 
   // Built lazily per backend: the LUT is only worth building for --backend=exact.
   std::unique_ptr<arch::CostTable> table;

@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "obs/registry.h"
+#include "util/fs.h"
 
 namespace dance::cluster {
 
@@ -82,25 +84,12 @@ std::size_t save_snapshot(const serve::ShardedLruCache& cache,
   }
   buf.put<std::uint64_t>(fnv1a(buf.bytes.data(), buf.bytes.size()));
 
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
+  try {
+    util::atomic_write_file(
+        path, std::string_view(buf.bytes.data(), buf.bytes.size()));
+  } catch (const std::runtime_error& e) {
     obs::Registry::global().counter("cluster.snapshot.errors").inc();
-    throw SnapshotError("cannot open " + tmp + ": " + std::strerror(errno));
-  }
-  const std::size_t wrote =
-      std::fwrite(buf.bytes.data(), 1, buf.bytes.size(), f);
-  const bool flushed = std::fclose(f) == 0;
-  if (wrote != buf.bytes.size() || !flushed) {
-    std::remove(tmp.c_str());
-    obs::Registry::global().counter("cluster.snapshot.errors").inc();
-    throw SnapshotError("short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    obs::Registry::global().counter("cluster.snapshot.errors").inc();
-    throw SnapshotError("cannot rename " + tmp + " to " + path + ": " +
-                        std::strerror(errno));
+    throw SnapshotError(e.what());
   }
   obs::Registry::global()
       .counter("cluster.snapshot.saved_entries")

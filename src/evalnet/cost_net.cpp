@@ -62,6 +62,19 @@ std::vector<tensor::Tensor*> full_state(nn::ResidualMlp& trunk,
   state.push_back(&scale);
   return state;
 }
+
+std::vector<std::string> state_names(std::size_t num_params,
+                                     std::size_t num_buffers) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < num_params; ++i) {
+    names.push_back("trunk.param[" + std::to_string(i) + "]");
+  }
+  for (std::size_t i = 0; i < num_buffers; ++i) {
+    names.push_back("trunk.bn_buffer[" + std::to_string(i) + "]");
+  }
+  names.push_back("output_scale");
+  return names;
+}
 }  // namespace
 
 void CostNet::save(const std::string& path) {
@@ -77,7 +90,8 @@ void CostNet::load(const std::string& path) {
   auto params = trunk_->parameters();
   tensor::Tensor scale = tensor::Tensor::zeros({3});
   const auto state = full_state(*trunk_, params, scale);
-  nn::load_tensors(path, state);
+  nn::load_tensors(path, state,
+                   state_names(params.size(), trunk_->buffers().size()));
   set_output_scale({static_cast<double>(scale[0]), static_cast<double>(scale[1]),
                     static_cast<double>(scale[2])});
 }

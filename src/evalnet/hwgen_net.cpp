@@ -94,7 +94,11 @@ void HwGenNet::save(const std::string& path) {
 
 void HwGenNet::load(const std::string& path) {
   auto params = trunk_->parameters();
-  nn::load_parameters(path, params);
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    names.push_back("trunk.param[" + std::to_string(i) + "]");
+  }
+  nn::load_parameters(path, params, names);
 }
 
 }  // namespace dance::evalnet

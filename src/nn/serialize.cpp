@@ -1,8 +1,11 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
+
+#include "util/fs.h"
 
 namespace dance::nn {
 
@@ -38,53 +41,118 @@ bool read_shapes(std::ifstream& in, std::uint32_t count,
   return true;
 }
 
+std::string shape_str(const std::vector<int>& shape) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) s += "x";
+    s += std::to_string(shape[i]);
+  }
+  return s + "]";
+}
+
+/// Bounds-checked reader whose error messages carry the checkpoint path,
+/// how many bytes the current read needed vs. how many remained, and which
+/// tensor was being parsed — enough to pinpoint the bad file in a
+/// directory of generations without a hexdump.
+struct Cursor {
+  const char* p;
+  std::size_t left;
+  const std::string& path;
+  std::string where = "header";
+
+  void raw(void* out, std::size_t n) {
+    if (n > left) {
+      throw std::runtime_error("load_tensors: truncated checkpoint " + path +
+                               ": reading " + where + " needs " +
+                               std::to_string(n) + " bytes but only " +
+                               std::to_string(left) + " remain");
+    }
+    std::memcpy(out, p, n);
+    p += n;
+    left -= n;
+  }
+  template <typename T>
+  T get() {
+    T v;
+    raw(&v, sizeof(v));
+    return v;
+  }
+};
+
 }  // namespace
 
 void save_tensors(const std::string& path,
                   const std::vector<const tensor::Tensor*>& tensors) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_tensors: cannot open " + path);
+  std::string buf;
+  auto put = [&buf](const void* p, std::size_t n) {
+    buf.append(static_cast<const char*>(p), n);
+  };
   const Header h{kMagic, static_cast<std::uint32_t>(tensors.size())};
-  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  put(&h, sizeof(h));
   for (const auto* t : tensors) {
     const std::uint32_t rank = static_cast<std::uint32_t>(t->rank());
-    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    put(&rank, sizeof(rank));
     for (int d : t->shape()) {
       const std::int32_t v = d;
-      out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+      put(&v, sizeof(v));
     }
-    out.write(reinterpret_cast<const char*>(t->data()),
-              static_cast<std::streamsize>(t->numel() * sizeof(float)));
+    put(t->data(), t->numel() * sizeof(float));
   }
-  if (!out) throw std::runtime_error("save_tensors: write failed " + path);
+  util::atomic_write_file(path, buf);
 }
 
 void load_tensors(const std::string& path,
-                  const std::vector<tensor::Tensor*>& tensors) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_tensors: cannot open " + path);
-  Header h{};
-  if (!in.read(reinterpret_cast<char*>(&h), sizeof(h)) || h.magic != kMagic) {
-    throw std::runtime_error("load_tensors: bad checkpoint " + path);
+                  const std::vector<tensor::Tensor*>& tensors,
+                  const std::vector<std::string>& names) {
+  if (!names.empty() && names.size() != tensors.size()) {
+    throw std::runtime_error("load_tensors: " + std::to_string(names.size()) +
+                             " names for " + std::to_string(tensors.size()) +
+                             " tensors");
+  }
+  std::string bytes;
+  try {
+    bytes = util::read_file(path);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string("load_tensors: ") + e.what());
+  }
+
+  Cursor cur{bytes.data(), bytes.size(), path};
+  const auto h = cur.get<Header>();
+  if (h.magic != kMagic) {
+    throw std::runtime_error("load_tensors: bad checkpoint " + path +
+                             ": magic mismatch (not a dance checkpoint)");
   }
   if (h.count != tensors.size()) {
-    throw std::runtime_error("load_tensors: tensor count mismatch");
+    throw std::runtime_error(
+        "load_tensors: tensor count mismatch in " + path + ": file has " +
+        std::to_string(h.count) + ", model expects " +
+        std::to_string(tensors.size()));
   }
-  for (auto* t : tensors) {
-    std::uint32_t rank = 0;
-    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    auto* t = tensors[i];
+    const std::string name =
+        names.empty() ? "tensor #" + std::to_string(i) : names[i];
+    cur.where = name;
+    const auto rank = cur.get<std::uint32_t>();
+    if (rank > 8) {
+      throw std::runtime_error("load_tensors: corrupt checkpoint " + path +
+                               ": " + name + " has rank " +
+                               std::to_string(rank));
+    }
     std::vector<int> shape(rank);
-    for (auto& d : shape) {
-      std::int32_t v = 0;
-      in.read(reinterpret_cast<char*>(&v), sizeof(v));
-      d = v;
-    }
+    for (auto& d : shape) d = cur.get<std::int32_t>();
     if (shape != t->shape()) {
-      throw std::runtime_error("load_tensors: shape mismatch");
+      throw std::runtime_error("load_tensors: shape mismatch in " + path +
+                               ": " + name + " is " + shape_str(shape) +
+                               " in file, " + shape_str(t->shape()) +
+                               " in model");
     }
-    in.read(reinterpret_cast<char*>(t->data()),
-            static_cast<std::streamsize>(t->numel() * sizeof(float)));
-    if (!in) throw std::runtime_error("load_tensors: truncated checkpoint");
+    cur.raw(t->data(), t->numel() * sizeof(float));
+  }
+  if (cur.left != 0) {
+    throw std::runtime_error("load_tensors: corrupt checkpoint " + path +
+                             ": " + std::to_string(cur.left) +
+                             " trailing bytes after last tensor");
   }
 }
 
@@ -97,11 +165,12 @@ void save_parameters(const std::string& path,
 }
 
 void load_parameters(const std::string& path,
-                     std::vector<tensor::Variable>& params) {
+                     std::vector<tensor::Variable>& params,
+                     const std::vector<std::string>& names) {
   std::vector<tensor::Tensor*> ts;
   ts.reserve(params.size());
   for (auto& p : params) ts.push_back(&p.value());
-  load_tensors(path, ts);
+  load_tensors(path, ts, names);
 }
 
 bool checkpoint_compatible(const std::string& path,

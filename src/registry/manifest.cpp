@@ -1,0 +1,176 @@
+#include "registry/manifest.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "util/fs.h"
+
+namespace dance::registry {
+
+namespace {
+
+constexpr const char* kHeader = "DANCE-REGISTRY v1";
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+long to_long(const std::string& s, const std::string& what) {
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || s.empty()) {
+    throw ManifestError("manifest: bad integer for " + what + ": '" + s + "'");
+  }
+  return v;
+}
+
+double to_double(const std::string& s, const std::string& what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || s.empty()) {
+    throw ManifestError("manifest: bad number for " + what + ": '" + s + "'");
+  }
+  return v;
+}
+
+ManifestModel parse_model_line(const std::vector<std::string>& toks) {
+  if (toks.size() < 2 || toks.size() % 2 != 0) {
+    throw ManifestError("manifest: malformed model line");
+  }
+  ManifestModel m;
+  m.name = toks[1];
+  if (m.name.empty()) throw ManifestError("manifest: empty model name");
+  for (std::size_t i = 2; i + 1 < toks.size(); i += 2) {
+    const std::string& key = toks[i];
+    const std::string& val = toks[i + 1];
+    if (key == "arch_width") {
+      m.arch_width = static_cast<int>(to_long(val, key));
+    } else if (key == "hwgen_hidden") {
+      m.opts.hwgen.hidden_dim = static_cast<int>(to_long(val, key));
+    } else if (key == "hwgen_layers") {
+      m.opts.hwgen.num_layers = static_cast<int>(to_long(val, key));
+    } else if (key == "cost_hidden") {
+      m.opts.cost.hidden_dim = static_cast<int>(to_long(val, key));
+    } else if (key == "cost_layers") {
+      m.opts.cost.num_layers = static_cast<int>(to_long(val, key));
+    } else if (key == "ff") {
+      m.opts.cost.feature_forwarding = to_long(val, key) != 0;
+    } else if (key == "tau") {
+      m.opts.gumbel_tau = static_cast<float>(to_double(val, key));
+    } else if (key == "hard") {
+      m.opts.gumbel_hard = to_long(val, key) != 0;
+    } else if (key == "live") {
+      m.live = static_cast<std::uint64_t>(to_long(val, key));
+    } else if (key == "candidate") {
+      m.candidate = static_cast<std::uint64_t>(to_long(val, key));
+    } else {
+      // Unknown keys are rejected, not skipped: a manifest from a newer
+      // format revision must not be half-understood and then served.
+      throw ManifestError("manifest: unknown model key '" + key + "'");
+    }
+  }
+  if (m.arch_width <= 0) {
+    throw ManifestError("manifest: model " + m.name + " has no arch_width");
+  }
+  return m;
+}
+
+}  // namespace
+
+Manifest Manifest::parse(const std::string& text) {
+  Manifest out;
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw ManifestError("manifest: missing '" + std::string(kHeader) +
+                        "' header");
+  }
+  bool ended = false;
+  while (std::getline(in, line)) {
+    if (ended) throw ManifestError("manifest: content after 'end'");
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    if (toks[0] == "end") {
+      ended = true;
+    } else if (toks[0] == "model") {
+      ManifestModel m = parse_model_line(toks);
+      if (!out.models.emplace(m.name, std::move(m)).second) {
+        throw ManifestError("manifest: duplicate model " + toks[1]);
+      }
+    } else if (toks[0] == "gen") {
+      if (toks.size() != 4) throw ManifestError("manifest: malformed gen line");
+      const auto it = out.models.find(toks[1]);
+      if (it == out.models.end()) {
+        throw ManifestError("manifest: gen line for unknown model " + toks[1]);
+      }
+      const auto gen = static_cast<std::uint64_t>(to_long(toks[2], "gen"));
+      if (gen == 0) throw ManifestError("manifest: generation 0 is reserved");
+      if (!it->second.generations.emplace(gen, toks[3]).second) {
+        throw ManifestError("manifest: duplicate generation " + toks[2] +
+                            " for model " + toks[1]);
+      }
+    } else {
+      throw ManifestError("manifest: unknown record '" + toks[0] + "'");
+    }
+  }
+  if (!ended) {
+    throw ManifestError("manifest: missing 'end' marker (truncated file?)");
+  }
+  for (const auto& [name, m] : out.models) {
+    if (m.live != 0 && m.generations.find(m.live) == m.generations.end()) {
+      throw ManifestError("manifest: model " + name + " live generation " +
+                          std::to_string(m.live) + " is not listed");
+    }
+    if (m.candidate != 0 &&
+        m.generations.find(m.candidate) == m.generations.end()) {
+      throw ManifestError("manifest: model " + name +
+                          " candidate generation " +
+                          std::to_string(m.candidate) + " is not listed");
+    }
+  }
+  return out;
+}
+
+std::string Manifest::serialize() const {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  for (const auto& [name, m] : models) {
+    out << "model " << name << " arch_width " << m.arch_width
+        << " hwgen_hidden " << m.opts.hwgen.hidden_dim << " hwgen_layers "
+        << m.opts.hwgen.num_layers << " cost_hidden " << m.opts.cost.hidden_dim
+        << " cost_layers " << m.opts.cost.num_layers << " ff "
+        << (m.opts.cost.feature_forwarding ? 1 : 0) << " tau "
+        << m.opts.gumbel_tau << " hard " << (m.opts.gumbel_hard ? 1 : 0)
+        << " live " << m.live << " candidate " << m.candidate << "\n";
+    for (const auto& [gen, prefix] : m.generations) {
+      out << "gen " << name << " " << gen << " " << prefix << "\n";
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+std::string Manifest::path_in(const std::string& dir) {
+  return dir + "/MANIFEST";
+}
+
+Manifest Manifest::load(const std::string& dir) {
+  std::string text;
+  try {
+    text = util::read_file(path_in(dir));
+  } catch (const std::runtime_error& e) {
+    throw ManifestError(e.what());
+  }
+  return parse(text);
+}
+
+void Manifest::save(const std::string& dir) const {
+  util::atomic_write_file(path_in(dir), serialize());
+}
+
+}  // namespace dance::registry

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "evalnet/evaluator.h"
+
+namespace dance::registry {
+
+/// Raised for any malformed, truncated or inconsistent MANIFEST. The
+/// registry never activates a partially parsed manifest: parsing either
+/// yields a fully validated Manifest or throws this.
+struct ManifestError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One named model in the registry: its evaluator geometry (enough to
+/// reconstruct an Evaluator that the generation checkpoints load into),
+/// the live and candidate generation numbers, and the checkpoint file
+/// prefix of every retained generation. Generation numbers increase
+/// monotonically per model and are never reused.
+struct ManifestModel {
+  std::string name;
+  int arch_width = 0;
+  evalnet::Evaluator::Options opts;
+  std::uint64_t live = 0;       ///< 0 = never published
+  std::uint64_t candidate = 0;  ///< 0 = no candidate staged
+  /// generation -> checkpoint prefix, relative to the registry directory.
+  /// The files are `<prefix>.hwgen.ckpt` and `<prefix>.cost.ckpt`.
+  std::map<std::uint64_t, std::string> generations;
+};
+
+/// The parsed on-disk MANIFEST. Text format, one record per line:
+///
+///   DANCE-REGISTRY v1
+///   model <name> arch_width <W> hwgen_hidden <H> hwgen_layers <L>
+///         cost_hidden <H> cost_layers <L> ff <0|1> tau <f> hard <0|1>
+///         live <N> candidate <M>        (single line, keys in any order)
+///   gen <model> <N> <prefix>
+///   end
+///
+/// The trailing `end` marker makes a truncated file detectable even
+/// without the atomic writer; live/candidate must reference listed
+/// generations. Parsing validates everything before returning — the
+/// registry activates a manifest only after `parse` succeeds in full.
+struct Manifest {
+  std::map<std::string, ManifestModel> models;
+
+  [[nodiscard]] static Manifest parse(const std::string& text);
+  [[nodiscard]] std::string serialize() const;
+
+  /// Load/save `<dir>/MANIFEST`. `save` goes through
+  /// util::atomic_write_file, so readers in other shard processes see
+  /// either the old manifest or the new one, never a torn prefix.
+  [[nodiscard]] static Manifest load(const std::string& dir);
+  void save(const std::string& dir) const;
+
+  [[nodiscard]] static std::string path_in(const std::string& dir);
+};
+
+}  // namespace dance::registry

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "evalnet/dataset.h"
+#include "registry/registry.h"
+#include "serve/backend.h"
+
+namespace dance::registry {
+
+/// Continual-recalibration driver (the DOSA one-loop): served queries are
+/// labeled with ground truth by an exact oracle off the response path, the
+/// labeled samples accumulate in an evalnet::dataset buffer, and once the
+/// buffer reaches `min_samples` the live evaluator generation is fine-tuned
+/// on the fresh data and the result is published back into the registry as
+/// a *candidate* generation — to be shadow-validated (ShadowMirror) and
+/// then promoted, never swapped into the live path sight-unseen.
+///
+/// Labeling deduplicates by canonical key: repeated traffic on one hot key
+/// contributes one sample, so the fine-tuning set stays diverse.
+class Recalibrator {
+ public:
+  struct Options {
+    int min_samples = 64;  ///< fine-tune once this many unique samples
+    int epochs = 4;        ///< few-epoch fine-tune, not a full retrain
+    int batch_size = 32;
+    std::uint64_t seed = 29;
+    bool synchronous = false;  ///< tests: no worker thread, use train_now()
+    /// DANCE_REGISTRY_RECAL_MIN / _EPOCHS / _BATCH / _SEED.
+    [[nodiscard]] static Options from_env();
+  };
+
+  /// `oracle` answers ground truth (serve::ExactBackend); it is only ever
+  /// called from the worker thread (or train_now() in synchronous mode),
+  /// never on the serving path.
+  Recalibrator(ModelRegistry& registry, std::string model,
+               serve::CostQueryBackend& oracle, Options opts);
+  ~Recalibrator();
+
+  Recalibrator(const Recalibrator&) = delete;
+  Recalibrator& operator=(const Recalibrator&) = delete;
+
+  /// Called on the serving path: enqueues the encoding for background
+  /// labeling. Cheap (one dedup probe + one queue push under a mutex).
+  void observe(const std::vector<float>& encoding);
+
+  /// Synchronously labels everything queued and, if the buffer has reached
+  /// min_samples, fine-tunes and publishes a candidate generation. Returns
+  /// the published generation, or 0 when below threshold. Used by tests
+  /// and for a final flush at front-end EOF.
+  std::uint64_t train_now();
+
+  struct Stats {
+    std::uint64_t observed = 0;  ///< encodings offered (pre-dedup)
+    std::uint64_t labeled = 0;   ///< unique samples ground-truthed
+    std::uint64_t trainings = 0;
+    std::uint64_t last_published = 0;  ///< most recent candidate generation
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t buffered() const;
+
+ private:
+  void worker_loop();
+  void label_queued(std::deque<std::vector<float>> batch);
+  [[nodiscard]] std::uint64_t maybe_train();
+
+  ModelRegistry& registry_;
+  std::string model_;
+  serve::CostQueryBackend& oracle_;
+  Options opts_;
+
+  mutable std::mutex mu_;
+  std::deque<std::vector<float>> queue_;
+  std::unordered_set<std::vector<float>, serve::KeyHash, serve::KeyEq> seen_;
+  std::vector<evalnet::EvalSample> buffer_;
+  Stats stats_;
+  bool stop_ = false;
+  std::condition_variable cv_;
+  std::thread worker_;
+};
+
+}  // namespace dance::registry

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+
+#include "arch/space.h"
+#include "registry/recalibrate.h"
+#include "registry/registry.h"
+#include "registry/shadow.h"
+#include "serve/service.h"
+
+namespace dance::registry {
+
+/// Registry-aware wire pipeline: the serve::wire::answer_line equivalent
+/// used by registry front-ends (serve_jsonl --registry, cluster shards in
+/// registry mode). Differences from the plain pipeline:
+///
+///   * every request is pinned to one generation before it enters the
+///     service, and the pin scope is folded into the cache key;
+///   * an optional `"model": "name"` request field selects among resident
+///     models (default: the front-end's --model);
+///   * `{"cmd": "reload"}` re-reads the MANIFEST and hot-swaps externally
+///     published generations, answering `{"reloaded": true, "swaps": N}`;
+///   * after the live answer is produced, the query is offered to the
+///     shadow mirror and the recalibration driver (both optional, both off
+///     the response path).
+class Frontend {
+ public:
+  /// `service` must be backed by a RegistryBackend. `shadow` and `recal`
+  /// may be null.
+  Frontend(ModelRegistry& registry, serve::Service& service,
+           std::string default_model, ShadowMirror* shadow = nullptr,
+           Recalibrator* recal = nullptr);
+
+  /// Full per-line pipeline; same contract as serve::wire::answer_line
+  /// (empty string for blank lines, error lines instead of exceptions).
+  [[nodiscard]] std::string answer_line(const std::string& line,
+                                        const arch::ArchSpace& space);
+
+  /// Re-reads the MANIFEST (SIGHUP handler path). Returns swap count; any
+  /// error is reported to the returned string's consumer via exception.
+  std::size_t reload() { return registry_.reload(); }
+
+  [[nodiscard]] const std::string& default_model() const {
+    return default_model_;
+  }
+
+ private:
+  ModelRegistry& registry_;
+  serve::Service& service_;
+  std::string default_model_;
+  ShadowMirror* shadow_;
+  Recalibrator* recal_;
+};
+
+}  // namespace dance::registry

@@ -1,0 +1,162 @@
+#include "registry/shadow.h"
+
+#include <cmath>
+#include <limits>
+
+#include "obs/registry.h"
+#include "util/env.h"
+
+namespace dance::registry {
+
+namespace {
+
+double scalar_cost(const accel::CostMetrics& m) {
+  return m.latency_ms * m.energy_mj * m.area_mm2;
+}
+
+/// |log10(a/b)| with the conventions of the PR 2 calibration bands: equal
+/// values (including both zero) agree exactly; a sign flip or exactly one
+/// zero is an infinite error.
+double log10_error(double a, double b) {
+  if (a == b) return 0.0;
+  if (a <= 0.0 || b <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::fabs(std::log10(a / b));
+}
+
+bool same_config(const accel::AcceleratorConfig& a,
+                 const accel::AcceleratorConfig& b) {
+  return a.pe_x == b.pe_x && a.pe_y == b.pe_y && a.rf_size == b.rf_size &&
+         a.dataflow == b.dataflow;
+}
+
+}  // namespace
+
+ShadowMirror::Options ShadowMirror::Options::from_env() {
+  Options o;
+  o.pct = util::env_double("DANCE_REGISTRY_SHADOW_PCT", o.pct, 0.0, 1.0);
+  o.seed = util::env_u64("DANCE_REGISTRY_SHADOW_SEED", o.seed);
+  o.band = util::env_double("DANCE_REGISTRY_SHADOW_BAND", o.band, 0.0);
+  return o;
+}
+
+ShadowMirror::ShadowMirror(ModelRegistry& registry, Options opts)
+    : registry_(registry), opts_(opts), rng_(opts.seed) {
+  if (!opts_.synchronous) {
+    worker_ = std::thread([this] { worker_loop(); });
+  }
+}
+
+ShadowMirror::~ShadowMirror() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void ShadowMirror::observe(const std::string& model,
+                           const std::vector<float>& encoding,
+                           const serve::Response& live) {
+  if (opts_.pct <= 0.0) return;
+  Item item{model, encoding, live};
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Seeded, stream-positional sampling: with a fixed seed the same query
+    // sequence selects the same subset, so the mirrored fraction is
+    // reproducible (property-tested).
+    if (static_cast<double>(rng_.uniform()) >= opts_.pct) return;
+    ++stats_.sampled;
+    if (opts_.synchronous) {
+      ++in_flight_;
+    } else {
+      queue_.push_back(std::move(item));
+      cv_.notify_one();
+      return;
+    }
+  }
+  // Synchronous mode runs the comparison inline on the caller's thread —
+  // deterministic for tests, still off the response bytes (the live
+  // response was already produced).
+  compare(item);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --in_flight_;
+  }
+  drained_cv_.notify_all();
+}
+
+void ShadowMirror::worker_loop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    compare(item);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --in_flight_;
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+void ShadowMirror::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  drained_cv_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ShadowMirror::compare(const Item& item) {
+  const VersionPtr candidate = registry_.pin_candidate(item.model);
+  if (!candidate) return;  // nothing staged: sampled but not mirrored
+
+  serve::Request request =
+      ModelRegistry::make_request(candidate, item.encoding);
+  const std::vector<serve::Response> answered =
+      candidate->answer({&request, 1});
+  const serve::Response& shadow = answered.front();
+
+  const bool config_agree = same_config(shadow.config, item.live.config);
+  const bool band_agree =
+      log10_error(shadow.metrics.latency_ms, item.live.metrics.latency_ms) <=
+          opts_.band &&
+      log10_error(shadow.metrics.energy_mj, item.live.metrics.energy_mj) <=
+          opts_.band &&
+      log10_error(shadow.metrics.area_mm2, item.live.metrics.area_mm2) <=
+          opts_.band;
+  const bool agree = config_agree && band_agree;
+
+  const double live_cost = scalar_cost(item.live.metrics);
+  const double cand_cost = scalar_cost(shadow.metrics);
+
+  auto& reg = obs::Registry::global();
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.mirrored;
+  if (!agree) ++stats_.disagreements;
+  if (prev_costs_) {
+    ++stats_.order_pairs;
+    const auto [prev_live, prev_cand] = *prev_costs_;
+    const int live_order = (live_cost > prev_live) - (live_cost < prev_live);
+    const int cand_order = (cand_cost > prev_cand) - (cand_cost < prev_cand);
+    if (live_order == cand_order) ++stats_.order_agreements;
+  }
+  prev_costs_ = {live_cost, cand_cost};
+
+  reg.counter("serve.shadow.mirrored").inc();
+  if (!agree) reg.counter("serve.shadow.disagreements").inc();
+  reg.gauge("serve.shadow.agreement_rate").set(stats_.agreement_rate());
+  reg.gauge("serve.shadow.order_agreement_rate")
+      .set(stats_.order_agreement_rate());
+}
+
+ShadowMirror::Stats ShadowMirror::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace dance::registry

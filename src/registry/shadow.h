@@ -1,0 +1,111 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "registry/registry.h"
+#include "serve/types.h"
+#include "util/rng.h"
+
+namespace dance::registry {
+
+/// Shadow A/B traffic mirror: a seeded sample of live queries is replayed
+/// against the model's staged candidate generation off the response path
+/// (a background worker, or inline in synchronous mode for tests), and the
+/// candidate's answer is compared to the live answer actually served:
+///
+///   * value agreement — every metric within the |log10(candidate/live)|
+///     error band (the PR 2 calibration bands; DANCE_REGISTRY_SHADOW_BAND)
+///     and the same decoded hardware configuration;
+///   * cost-ordering agreement — consecutive mirrored queries must be
+///     ranked the same way by both generations (scalar cost = the EDAP-
+///     style latency*energy*area product), the property co-search actually
+///     consumes.
+///
+/// Live response bytes are never affected: mirroring copies the encoding
+/// and the already-serialized live answer. Metrics: serve.shadow.mirrored,
+/// serve.shadow.disagreements (counters), serve.shadow.agreement_rate and
+/// serve.shadow.order_agreement_rate (gauges).
+class ShadowMirror {
+ public:
+  struct Options {
+    double pct = 0.0;             ///< fraction of traffic mirrored [0, 1]
+    std::uint64_t seed = 0x5AAD;  ///< sampling stream seed
+    double band = 3.0;  ///< |log10| error band (PR 2 calibrated default)
+    bool synchronous = false;  ///< tests: mirror inline, no worker thread
+    /// DANCE_REGISTRY_SHADOW_PCT / _SEED / _BAND.
+    [[nodiscard]] static Options from_env();
+  };
+
+  ShadowMirror(ModelRegistry& registry, Options opts);
+  ~ShadowMirror();
+
+  ShadowMirror(const ShadowMirror&) = delete;
+  ShadowMirror& operator=(const ShadowMirror&) = delete;
+
+  /// Called on the serving path after the live answer is produced. Samples
+  /// the seeded stream; a selected query is enqueued (or, in synchronous
+  /// mode, compared inline) against the candidate generation of `model`.
+  /// Queries for models with no staged candidate are counted as sampled
+  /// but not mirrored.
+  void observe(const std::string& model, const std::vector<float>& encoding,
+               const serve::Response& live);
+
+  /// Blocks until every enqueued mirror has been compared (tests; also
+  /// called before a front-end reports stats at EOF).
+  void drain();
+
+  struct Stats {
+    std::uint64_t sampled = 0;   ///< selected by the seeded coin
+    std::uint64_t mirrored = 0;  ///< actually compared against a candidate
+    std::uint64_t disagreements = 0;  ///< value-band or config mismatches
+    std::uint64_t order_pairs = 0;
+    std::uint64_t order_agreements = 0;
+    [[nodiscard]] double agreement_rate() const {
+      return mirrored == 0
+                 ? 1.0
+                 : 1.0 - static_cast<double>(disagreements) /
+                             static_cast<double>(mirrored);
+    }
+    [[nodiscard]] double order_agreement_rate() const {
+      return order_pairs == 0 ? 1.0
+                              : static_cast<double>(order_agreements) /
+                                    static_cast<double>(order_pairs);
+    }
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Item {
+    std::string model;
+    std::vector<float> encoding;
+    serve::Response live;
+  };
+
+  void worker_loop();
+  void compare(const Item& item);
+
+  ModelRegistry& registry_;
+  Options opts_;
+
+  mutable std::mutex mu_;
+  util::Rng rng_;  ///< guarded by mu_
+  std::deque<Item> queue_;
+  Stats stats_;
+  /// Previous mirrored sample's scalar costs (live, candidate) for the
+  /// consecutive-pair ordering check; reset never (stream-wide).
+  std::optional<std::pair<double, double>> prev_costs_;
+  bool stop_ = false;
+  std::size_t in_flight_ = 0;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  std::thread worker_;
+};
+
+}  // namespace dance::registry

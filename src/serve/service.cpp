@@ -47,7 +47,7 @@ Service::Service(CostQueryBackend& backend, Options opts)
 
 Response Service::query(const Request& request) {
   const auto start = std::chrono::steady_clock::now();
-  const std::vector<float> key = canonical_key(request.encoding);
+  const std::vector<float> key = canonical_key(request);
 
   Response response;
   bool from_cache = false;
@@ -84,7 +84,7 @@ std::vector<Response> Service::query_many(std::span<const Request> requests) {
   std::vector<std::pair<std::size_t, std::size_t>> miss_fill;
   std::unordered_map<std::vector<float>, std::size_t, KeyHash, KeyEq> pending;
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    std::vector<float> key = canonical_key(requests[i].encoding);
+    std::vector<float> key = canonical_key(requests[i]);
     if (cache_) {
       if (auto hit = cache_->get(key)) {
         out[i] = *hit;
@@ -111,7 +111,7 @@ std::vector<Response> Service::query_many(std::span<const Request> requests) {
       answered[m].cached = false;
       // Same rule as query(): degraded answers are not memoized.
       if (cache_ && !answered[m].degraded) {
-        cache_->put(canonical_key(misses[m].encoding), answered[m]);
+        cache_->put(canonical_key(misses[m]), answered[m]);
       }
     }
   }

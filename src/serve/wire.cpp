@@ -61,6 +61,20 @@ std::optional<std::vector<float>> parse_array_field(const std::string& line,
   }
 }
 
+std::optional<std::string> parse_string_field(const std::string& line,
+                                              const char* key) {
+  std::size_t at = after_key(line, key);
+  if (at == std::string::npos) return std::nullopt;
+  while (at < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[at]))) {
+    ++at;
+  }
+  if (at >= line.size() || line[at] != '"') return std::nullopt;
+  const std::size_t close = line.find('"', at + 1);
+  if (close == std::string::npos) return std::nullopt;
+  return line.substr(at + 1, close - at - 1);
+}
+
 bool is_blank(const std::string& line) {
   return line.find_first_not_of(" \t\r") == std::string::npos;
 }
@@ -103,15 +117,24 @@ ParseOutcome parse_request(const std::string& line,
 
 std::string response_line(long id, const Response& r) {
   char buf[512];
-  std::snprintf(
+  int n = std::snprintf(
       buf, sizeof(buf),
       "{\"id\": %ld, \"latency_ms\": %.6g, \"energy_mj\": %.6g, "
       "\"area_mm2\": %.6g, \"pe_x\": %d, \"pe_y\": %d, \"rf_size\": %d, "
-      "\"dataflow\": \"%s\", \"cached\": %s, \"degraded\": %s}",
+      "\"dataflow\": \"%s\", \"cached\": %s, \"degraded\": %s",
       id, r.metrics.latency_ms, r.metrics.energy_mj, r.metrics.area_mm2,
       r.config.pe_x, r.config.pe_y, r.config.rf_size,
       accel::to_string(r.config.dataflow).c_str(), r.cached ? "true" : "false",
       r.degraded ? "true" : "false");
+  if (r.generation != 0 && n > 0 && static_cast<std::size_t>(n) < sizeof(buf)) {
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                       ", \"generation\": %llu",
+                       static_cast<unsigned long long>(r.generation));
+  }
+  if (n > 0 && static_cast<std::size_t>(n) < sizeof(buf) - 1) {
+    buf[n] = '}';
+    buf[n + 1] = '\0';
+  }
   return buf;
 }
 

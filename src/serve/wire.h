@@ -23,6 +23,9 @@ namespace dance::serve::wire {
 ///   {"id": 1, "latency_ms": ..., "energy_mj": ..., "area_mm2": ...,
 ///    "pe_x": 16, "pe_y": 16, "rf_size": 32, "dataflow": "RS",
 ///    "cached": false, "degraded": false}
+/// Registry-served responses append `, "generation": N` (N > 0). The field
+/// is omitted when generation is 0 so non-registry deployments keep the
+/// exact historical bytes (the cluster CI smoke diffs them).
 /// Errors:
 ///   {"id": 1, "error": "..."}   (id -1 when the request carried none)
 
@@ -32,6 +35,10 @@ namespace dance::serve::wire {
 [[nodiscard]] std::optional<long> parse_long_field(const std::string& line,
                                                    const char* key);
 [[nodiscard]] std::optional<std::vector<float>> parse_array_field(
+    const std::string& line, const char* key);
+/// Reads a double-quoted string value (no escape handling — values are
+/// identifiers like model names, not free text).
+[[nodiscard]] std::optional<std::string> parse_string_field(
     const std::string& line, const char* key);
 
 /// True for lines with nothing but whitespace — skipped, never answered.

@@ -1,0 +1,48 @@
+#include "util/fs.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace dance::util {
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("atomic_write_file: cannot open " + tmp + ": " +
+                             std::strerror(errno));
+  }
+  const std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (wrote != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("atomic_write_file: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("atomic_write_file: cannot rename " + tmp +
+                             " to " + path + ": " + std::strerror(errno));
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("read_file: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  std::string bytes;
+  char chunk[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.append(chunk, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) throw std::runtime_error("read_file: read error on " + path);
+  return bytes;
+}
+
+}  // namespace dance::util
