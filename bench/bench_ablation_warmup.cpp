@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "arch/cost_table.h"
 #include "evalnet/trainer.h"
 #include "search/dance.h"
 #include "util/table.h"

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "arch/cost_table.h"
 #include "evalnet/trainer.h"
 #include "search/baselines.h"
 #include "search/dance.h"

@@ -107,6 +107,64 @@ void BM_EvaluateAllConfigsSerial(benchmark::State& state) {
 }
 BENCHMARK(BM_EvaluateAllConfigsSerial)->Unit(benchmark::kMillisecond);
 
+// --- DANCE_COST=exact vs =lut on the analytical hot path --------------------
+// The LUT-compiled model answers the same batched evaluation with divides
+// replaced by reciprocal-table multiplies (accuracy bound: docs/cost_table.md).
+
+void BM_NetworkCostExact(benchmark::State& state) {
+  Env& e = env();
+  const accel::CostModel exact(e.model.tech(), accel::CostMode::kExact);
+  const auto layers = e.arch_space.lower(e.arch_space.random(e.rng));
+  const accel::AcceleratorConfig cfg = e.hw_space.config_at(e.hw_space.size() / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact.network_cost(cfg, layers));
+  }
+}
+BENCHMARK(BM_NetworkCostExact)->Unit(benchmark::kMicrosecond);
+
+void BM_NetworkCostLut(benchmark::State& state) {
+  Env& e = env();
+  const accel::CostModel lut(e.model.tech(), accel::CostMode::kLut);
+  const auto layers = e.arch_space.lower(e.arch_space.random(e.rng));
+  const accel::AcceleratorConfig cfg = e.hw_space.config_at(e.hw_space.size() / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lut.network_cost(cfg, layers));
+  }
+}
+BENCHMARK(BM_NetworkCostLut)->Unit(benchmark::kMicrosecond);
+
+void BM_LayerCostBatch(benchmark::State& state) {
+  Env& e = env();
+  const auto layers = e.arch_space.lower(e.arch_space.random(e.rng));
+  const accel::AcceleratorConfig cfg = e.hw_space.config_at(e.hw_space.size() / 2);
+  std::vector<accel::LayerCost> out(layers.size());
+  for (auto _ : state) {
+    e.model.layer_cost_batch(cfg, layers, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_LayerCostBatch)->Unit(benchmark::kMicrosecond);
+
+void BM_CostTableBuildExact(benchmark::State& state) {
+  Env& e = env();
+  const accel::CostModel exact(e.model.tech(), accel::CostMode::kExact);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        arch::build_cost_table(e.arch_space, e.hw_space, exact));
+  }
+}
+BENCHMARK(BM_CostTableBuildExact)->Unit(benchmark::kMillisecond);
+
+void BM_CostTableBuildLut(benchmark::State& state) {
+  Env& e = env();
+  const accel::CostModel lut(e.model.tech(), accel::CostMode::kLut);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        arch::build_cost_table(e.arch_space, e.hw_space, lut));
+  }
+}
+BENCHMARK(BM_CostTableBuildLut)->Unit(benchmark::kMillisecond);
+
 void BM_CoordinateDescent(benchmark::State& state) {
   Env& e = env();
   hwgen::CoordinateDescent cd(e.hw_space, e.model, /*restarts=*/4);

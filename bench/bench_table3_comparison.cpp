@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "arch/cost_table.h"
 #include "evalnet/trainer.h"
 #include "search/dance.h"
 #include "search/design_points.h"

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "arch/cost_table.h"
 #include "evalnet/trainer.h"
 #include "search/baselines.h"
 #include "search/dance.h"

@@ -7,6 +7,7 @@
 // Run: ./build/examples/co_exploration   (takes a couple of minutes)
 #include <cstdio>
 
+#include "arch/cost_table.h"
 #include "evalnet/trainer.h"
 #include "search/baselines.h"
 #include "search/dance.h"

@@ -5,6 +5,7 @@
 // Run: ./build/examples/evaluator_checkpoint
 #include <cstdio>
 
+#include "arch/cost_table.h"
 #include "evalnet/trainer.h"
 #include "nn/serialize.h"
 

@@ -24,6 +24,11 @@
 //   --connect=EP         client mode: where the router listens
 //   --backend=exact|surrogate   per-shard backend          (default exact)
 //   --small              tiny hardware space (fast startup; CI smoke)
+//   --table=PATH         every shard mmaps the compiled DCTB cost table at
+//                        PATH (costtable_compile) instead of building its
+//                        own copy: zero per-shard build time and one shared
+//                        physical copy of the table across the cluster
+//                        (exact backend only)
 //   --snapshot-dir=DIR   per-shard warm-start snapshots (shard_<id>.snap)
 //   --registry=DIR       registry mode: every shard serves pinned,
 //                        generation-scoped queries out of the checkpoint
@@ -53,6 +58,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "arch/cost_artifact.h"
 #include "arch/cost_table.h"
 #include "cluster/router.h"
 #include "cluster/shard.h"
@@ -87,6 +93,7 @@ struct Args {
   std::string snapshot_dir;
   std::string registry_dir;
   std::string model = "default";
+  std::string table_path;
   bool small = false;
 };
 
@@ -148,19 +155,26 @@ char wait_for_signal() {
 struct ShardStack {
   arch::ArchSpace arch_space{arch::cifar10_backbone()};
   hwgen::HwSearchSpace hw_space;
-  accel::CostModel model;  ///< CostTable keeps a reference; must outlive it
-  std::unique_ptr<arch::CostTable> table;
+  accel::CostModel model;  ///< consulted only while building the table
+  std::unique_ptr<arch::CostProvider> table;
   std::unique_ptr<evalnet::Evaluator> evaluator;
   std::unique_ptr<serve::CostQueryBackend> backend;
   std::unique_ptr<serve::Service> service;
 
-  ShardStack(const std::string& backend_name, bool small) {
+  ShardStack(const std::string& backend_name, bool small,
+             const std::string& table_path) {
     if (small) {
       hw_space = hwgen::HwSearchSpace({.pe_min = 8, .pe_max = 12, .rf_min = 8,
                                        .rf_max = 32, .rf_step = 8});
     }
     if (backend_name == "exact") {
-      table = std::make_unique<arch::CostTable>(arch_space, hw_space, model);
+      // --table: mmap the compiled artifact (shared pages, no build);
+      // otherwise every shard builds its own private copy.
+      table = table_path.empty()
+                  ? std::unique_ptr<arch::CostProvider>(
+                        std::make_unique<arch::CostTable>(arch_space, hw_space,
+                                                          model))
+                  : arch::load_cost_table(table_path, arch_space);
       backend =
           std::make_unique<serve::ExactBackend>(*table, accel::edap_cost());
     } else {
@@ -263,7 +277,7 @@ int run_shard_registry(const Args& args) {
 int run_shard(const Args& args) {
   if (!args.registry_dir.empty()) return run_shard_registry(args);
   arm_signal_pipe();
-  ShardStack stack(args.backend, args.small);
+  ShardStack stack(args.backend, args.small, args.table_path);
   cluster::ShardServer::Options opts = cluster::ShardServer::Options::from_env();
   if (!args.snapshot_dir.empty()) {
     opts.snapshot_path =
@@ -308,6 +322,9 @@ int run_router(const Args& args, const char* argv0) {
         "--backend=" + args.backend,
     };
     if (args.small) child_args.push_back("--small");
+    if (!args.table_path.empty()) {
+      child_args.push_back("--table=" + args.table_path);
+    }
     if (!args.snapshot_dir.empty()) {
       child_args.push_back("--snapshot-dir=" + args.snapshot_dir);
     }
@@ -422,6 +439,8 @@ int main(int argc, char** argv) {
       args.registry_dir = v;
     } else if (const char* v = flag_value(argv[i], "--model=")) {
       args.model = v;
+    } else if (const char* v = flag_value(argv[i], "--table=")) {
+      args.table_path = v;
     } else if (std::strcmp(argv[i], "--small") == 0) {
       args.small = true;
     } else if (std::strcmp(argv[i], "--client") == 0) {

@@ -19,6 +19,12 @@
 //                              DANCE_INFER=autograd|fused|int8 and is printed
 //                              in the banner and the EOF report)
 //   --small                    tiny hardware space (fast startup; CI smoke)
+//   --table=PATH               mmap a compiled DCTB cost table (see
+//                              costtable_compile) instead of rebuilding the
+//                              exact table at startup; the artifact defines
+//                              the hardware space. Answers are byte-identical
+//                              to the in-memory build. Used by the exact
+//                              backend and the --recalibrate oracle.
 //   --hwgen-ckpt=PATH          load HwGenNet weights  (surrogate only)
 //   --cost-ckpt=PATH           load CostNet weights   (surrogate only)
 //   --fault=SPEC               install a fault injector (same grammar as
@@ -60,6 +66,7 @@
 #include <vector>
 
 #include "accel/cost_function.h"
+#include "arch/cost_artifact.h"
 #include "arch/cost_table.h"
 #include "evalnet/evaluator.h"
 #include "fault/fault.h"
@@ -112,6 +119,7 @@ int main(int argc, char** argv) {
   std::string fault_spec_text;
   std::string registry_dir;
   std::string model_name = "default";
+  std::string table_path;
   bool small = false;
   bool resilient_mode = false;
   bool recalibrate = false;
@@ -128,6 +136,8 @@ int main(int argc, char** argv) {
       registry_dir = v;
     } else if (const char* v = flag_value(argv[i], "--model=")) {
       model_name = v;
+    } else if (const char* v = flag_value(argv[i], "--table=")) {
+      table_path = v;
     } else if (std::strcmp(argv[i], "--recalibrate") == 0) {
       recalibrate = true;
     } else if (std::strcmp(argv[i], "--resilient") == 0) {
@@ -161,6 +171,22 @@ int main(int argc, char** argv) {
             : hwgen::HwSearchSpace();
   accel::CostModel model;
 
+  // Ground-truth table: mmap the compiled artifact when --table is given
+  // (zero build time, pages shared with every other process mapping it),
+  // otherwise build in memory. Both answer bit-identically.
+  const auto make_table = [&]() -> std::unique_ptr<arch::CostProvider> {
+    if (!table_path.empty()) {
+      auto mapped = arch::load_cost_table(table_path, arch_space);
+      std::fprintf(stderr,
+                   "[serve_jsonl] mapped cost table %s (%zu bytes, checksum "
+                   "%016llx)\n",
+                   mapped->path().c_str(), mapped->mapped_bytes(),
+                   static_cast<unsigned long long>(mapped->checksum()));
+      return mapped;
+    }
+    return std::make_unique<arch::CostTable>(arch_space, hw_space, model);
+  };
+
   if (!registry_dir.empty()) {
     // Registry serving path: pinned generations, hot reload, shadow A/B,
     // optional continual recalibration. Kept as its own straight-line block
@@ -176,12 +202,11 @@ int main(int argc, char** argv) {
       if (shadow_opts.pct > 0.0) {
         shadow = std::make_unique<registry::ShadowMirror>(reg, shadow_opts);
       }
-      std::unique_ptr<arch::CostTable> oracle_table;
+      std::unique_ptr<arch::CostProvider> oracle_table;
       std::unique_ptr<serve::ExactBackend> oracle;
       std::unique_ptr<registry::Recalibrator> recal;
       if (recalibrate) {
-        oracle_table =
-            std::make_unique<arch::CostTable>(arch_space, hw_space, model);
+        oracle_table = make_table();
         oracle = std::make_unique<serve::ExactBackend>(*oracle_table,
                                                        accel::edap_cost());
         recal = std::make_unique<registry::Recalibrator>(
@@ -254,12 +279,22 @@ int main(int argc, char** argv) {
   }
 
   // Built lazily per backend: the LUT is only worth building for --backend=exact.
-  std::unique_ptr<arch::CostTable> table;
+  std::unique_ptr<arch::CostProvider> table;
   std::unique_ptr<evalnet::Evaluator> evaluator;
   std::unique_ptr<serve::CostQueryBackend> backend;
   serve::SurrogateBackend* surrogate = nullptr;  // for tier reporting
   if (backend_name == "exact") {
-    table = std::make_unique<arch::CostTable>(arch_space, hw_space, model);
+    try {
+      table = make_table();
+    } catch (const arch::ArtifactError& e) {
+      std::fprintf(stderr,
+                   "[serve_jsonl] cost-table load failed: %s (path=%s "
+                   "offset=%zu expected=%016llx actual=%016llx)\n",
+                   e.what(), e.path().c_str(), e.offset(),
+                   static_cast<unsigned long long>(e.expected_checksum()),
+                   static_cast<unsigned long long>(e.actual_checksum()));
+      return 1;
+    }
     backend = std::make_unique<serve::ExactBackend>(*table, accel::edap_cost());
   } else {
     util::Rng rng(17);

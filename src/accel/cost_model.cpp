@@ -4,7 +4,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/env.h"
+
 namespace dance::accel {
+
+CostMode cost_mode_from_env() {
+  const std::string v = util::env_string("DANCE_COST", "exact");
+  return v == "lut" ? CostMode::kLut : CostMode::kExact;
+}
+
+std::string to_string(CostMode mode) {
+  return mode == CostMode::kLut ? "lut" : "exact";
+}
 
 std::string to_string(Dataflow df) {
   switch (df) {
@@ -40,7 +51,45 @@ long rf_avail(const AcceleratorConfig& c) { return std::max(1, c.rf_size - 2); }
 
 }  // namespace
 
-CostModel::CostModel(const TechnologyParams& tech) : tech_(tech) {}
+CostModel::CostModel(const TechnologyParams& tech, CostMode mode)
+    : tech_(tech), mode_(mode) {
+  if (mode_ != CostMode::kLut) return;
+  // Compile the technology constants into clamped tables once per model
+  // (VLSIGR builds its 1024-entry routing cost tables the same way). Each
+  // entry is evaluated with the exact expression, so in-range table hits
+  // reproduce the exact value of *that* expression; the LUT-vs-exact
+  // divergence comes only from replacing divides with reciprocal
+  // multiplies (div_by_int, the roofline terms below).
+  inv_lut_.resize(kCostLutBins);
+  rf_access_pj_lut_.resize(kCostLutBins);
+  inv_lut_[0] = 0.0;  // never read: div_by_int falls back for den <= 0
+  for (long i = 1; i < kCostLutBins; ++i) {
+    inv_lut_[i] = 1.0 / static_cast<double>(i);
+  }
+  for (long i = 0; i < kCostLutBins; ++i) {
+    rf_access_pj_lut_[i] =
+        tech_.rf_energy_base_pj + tech_.rf_energy_per_word_pj * i;
+  }
+  inv_gb_bw_ = 1.0 / tech_.gb_bandwidth;
+  inv_dram_bw_ = 1.0 / tech_.dram_bandwidth;
+}
+
+double CostModel::div_by_int(double num, long den) const {
+  // Clamp, don't extrapolate: only in-range operands hit the table; at or
+  // past the last bin (and for degenerate denominators) the exact divide
+  // answers, so the table boundary introduces no discontinuity in domain.
+  if (mode_ == CostMode::kLut && den > 0 && den < kCostLutBins) {
+    return num * inv_lut_[den];
+  }
+  return num / static_cast<double>(den);
+}
+
+double CostModel::rf_access_energy_pj(int rf_size) const {
+  if (mode_ == CostMode::kLut && rf_size >= 0 && rf_size < kCostLutBins) {
+    return rf_access_pj_lut_[rf_size];
+  }
+  return tech_.rf_energy_base_pj + tech_.rf_energy_per_word_pj * rf_size;
+}
 
 // --- Weight stationary -----------------------------------------------------
 // Output channels K map to the X dimension of the array and input channels
@@ -100,11 +149,11 @@ CostModel::Mapping CostModel::map_output_stationary(const AcceleratorConfig& c,
       w_vol * static_cast<double>(tiles_x) * static_cast<double>(tiles_y) * s.n;
   // The RF caches up to rf_avail/S filter rows of the sliding input window,
   // giving up to R-fold vertical reuse of the input fetches.
-  const double row_reuse = std::clamp(
-      static_cast<double>(rf_avail(c)) / static_cast<double>(s.s), 1.0,
-      static_cast<double>(s.r));
+  const double row_reuse =
+      std::clamp(div_by_int(static_cast<double>(rf_avail(c)), s.s), 1.0,
+                 static_cast<double>(s.r));
   const double inputs_gb =
-      i_vol * static_cast<double>(s.k) / static_cast<double>(s.groups) *
+      div_by_int(i_vol * static_cast<double>(s.k), s.groups) *
       static_cast<double>(s.r) / row_reuse;
   const double outputs_gb = o_vol;  // psums never leave the PE until done
   m.gb_words = weights_gb + inputs_gb + outputs_gb;
@@ -150,9 +199,17 @@ CostModel::Mapping CostModel::map_row_stationary(const AcceleratorConfig& c,
   return m;
 }
 
-CostBreakdown CostModel::explain(const AcceleratorConfig& config,
-                                 const ConvShape& shape) const {
-  validate(config, shape);
+CostModel::ConfigCoeffs CostModel::coeffs_for(
+    const AcceleratorConfig& c) const {
+  ConfigCoeffs co;
+  co.rf_access_pj = rf_access_energy_pj(c.rf_size);
+  co.avg_hops = 0.5 * (c.pe_x + c.pe_y);
+  return co;
+}
+
+CostBreakdown CostModel::explain_with(const ConfigCoeffs& co,
+                                      const AcceleratorConfig& config,
+                                      const ConvShape& shape) const {
   Mapping m;
   switch (config.dataflow) {
     case Dataflow::kWeightStationary:
@@ -169,30 +226,55 @@ CostBreakdown CostModel::explain(const AcceleratorConfig& config,
   CostBreakdown b;
   // Roofline: the layer is bound by compute, the global buffer port, or DRAM.
   b.compute_cycles = m.compute_cycles;
-  b.gb_cycles = m.gb_words / tech_.gb_bandwidth;
-  b.dram_cycles = m.dram_words / tech_.dram_bandwidth;
+  if (mode_ == CostMode::kLut) {
+    b.gb_cycles = m.gb_words * inv_gb_bw_;
+    b.dram_cycles = m.dram_words * inv_dram_bw_;
+  } else {
+    b.gb_cycles = m.gb_words / tech_.gb_bandwidth;
+    b.dram_cycles = m.dram_words / tech_.dram_bandwidth;
+  }
   b.gb_words = m.gb_words;
   b.dram_words = m.dram_words;
   b.rf_accesses = m.rf_accesses;
 
-  const double rf_access_pj =
-      tech_.rf_energy_base_pj + tech_.rf_energy_per_word_pj * config.rf_size;
-  const double avg_hops = 0.5 * (config.pe_x + config.pe_y);
   const double static_pj_per_cycle_per_pe = 0.02;
   b.mac_pj = static_cast<double>(shape.macs()) * tech_.mac_energy_pj;
-  b.rf_pj = m.rf_accesses * rf_access_pj;
+  b.rf_pj = m.rf_accesses * co.rf_access_pj;
   b.gb_pj = m.gb_words * tech_.gb_energy_pj;
   b.dram_pj = m.dram_words * tech_.dram_energy_pj;
-  b.noc_pj = m.gb_words * avg_hops * tech_.noc_energy_per_hop_pj;
+  b.noc_pj = m.gb_words * co.avg_hops * tech_.noc_energy_per_hop_pj;
   b.static_pj =
       b.total_cycles() * config.num_pes() * static_pj_per_cycle_per_pe;
   return b;
+}
+
+CostBreakdown CostModel::explain(const AcceleratorConfig& config,
+                                 const ConvShape& shape) const {
+  validate(config, shape);
+  return explain_with(coeffs_for(config), config, shape);
 }
 
 LayerCost CostModel::layer_cost(const AcceleratorConfig& config,
                                 const ConvShape& shape) const {
   const CostBreakdown b = explain(config, shape);
   return LayerCost{b.total_cycles(), b.total_energy_pj()};
+}
+
+void CostModel::layer_cost_batch(const AcceleratorConfig& config,
+                                 std::span<const ConvShape> shapes,
+                                 std::span<LayerCost> out) const {
+  if (out.size() < shapes.size()) {
+    throw std::invalid_argument("CostModel::layer_cost_batch: out too small");
+  }
+  // The per-config coefficients are hoisted out of the loop; explain_with
+  // evaluates the exact same expressions as the per-layer path, so
+  // batch results are bit-identical to layer_cost in either CostMode.
+  const ConfigCoeffs co = coeffs_for(config);
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    validate(config, shapes[i]);
+    const CostBreakdown b = explain_with(co, config, shapes[i]);
+    out[i] = LayerCost{b.total_cycles(), b.total_energy_pj()};
+  }
 }
 
 double CostModel::area_mm2(const AcceleratorConfig& config) const {
@@ -206,10 +288,17 @@ CostMetrics CostModel::network_cost(const AcceleratorConfig& config,
                                     std::span<const ConvShape> layers) const {
   double cycles = 0.0;
   double energy_pj = 0.0;
-  for (const auto& layer : layers) {
-    const LayerCost lc = layer_cost(config, layer);
-    cycles += lc.cycles;
-    energy_pj += lc.energy_pj;
+  // Route through the batched entry point in fixed-size chunks: no heap
+  // allocation on this hot path (exhaustive search calls it ~14k times per
+  // run), while still hoisting the per-config coefficients.
+  LayerCost buf[32];
+  for (std::size_t off = 0; off < layers.size(); off += std::size(buf)) {
+    const std::size_t n = std::min(std::size(buf), layers.size() - off);
+    layer_cost_batch(config, layers.subspan(off, n), {buf, n});
+    for (std::size_t i = 0; i < n; ++i) {
+      cycles += buf[i].cycles;
+      energy_pj += buf[i].energy_pj;
+    }
   }
   CostMetrics m;
   m.latency_ms = cycles / (tech_.clock_ghz * 1e6);

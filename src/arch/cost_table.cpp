@@ -1,16 +1,14 @@
 #include "arch/cost_table.h"
 
-#include <limits>
-#include <stdexcept>
+#include <utility>
 
+#include "obs/registry.h"
 #include "runtime/profiler.h"
 #include "runtime/thread_pool.h"
 
 namespace dance::arch {
 
 namespace {
-/// Table lookups are cheap; batch plenty of configs per chunk.
-constexpr long kTableGrain = 256;
 /// Cost-model evaluation per config is expensive; small chunks balance well.
 constexpr long kModelGrain = 8;
 }  // namespace
@@ -20,53 +18,81 @@ CostTable::CostTable(const ArchSpace& arch_space,
                      const accel::CostModel& model)
     : arch_space_(arch_space),
       hw_space_(hw_space),
-      model_(model),
-      num_configs_(hw_space.size()) {
+      clock_ghz_(model.tech().clock_ghz) {
+  const std::size_t num_configs = hw_space.size();
   const int slots = arch_space_.num_searchable();
-  fixed_cycles_.assign(num_configs_, 0.0);
-  fixed_energy_.assign(num_configs_, 0.0);
-  area_.assign(num_configs_, 0.0);
-  choice_cycles_.assign(static_cast<std::size_t>(slots) * kNumCandidateOps *
-                            num_configs_,
-                        0.0);
+  fixed_cycles_.assign(num_configs, 0.0);
+  fixed_energy_.assign(num_configs, 0.0);
+  area_.assign(num_configs, 0.0);
+  choice_cycles_.assign(
+      static_cast<std::size_t>(slots) * kNumCandidateOps * num_configs, 0.0);
   choice_energy_.assign(choice_cycles_.size(), 0.0);
 
-  // Pre-lower every choice once; the config loop is the hot one.
-  std::vector<std::vector<std::vector<accel::ConvShape>>> choice_shapes(
-      static_cast<std::size_t>(slots));
+  // Pre-lower every choice once and flatten all shapes — fixed layers first,
+  // then each (slot, op) segment — into one contiguous batch, so each config
+  // costs exactly one layer_cost_batch call. Per-segment sums accumulate in
+  // the same per-shape order as the historical per-layer loops, so the table
+  // is bit-identical to the old build.
+  struct Segment {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  std::vector<accel::ConvShape> all_shapes(arch_space_.fixed_shapes().begin(),
+                                           arch_space_.fixed_shapes().end());
+  const std::size_t fixed_count = all_shapes.size();
+  std::vector<Segment> segments(static_cast<std::size_t>(slots) *
+                                kNumCandidateOps);
   for (int slot = 0; slot < slots; ++slot) {
-    auto& per_op = choice_shapes[static_cast<std::size_t>(slot)];
-    per_op.resize(kNumCandidateOps);
     for (int op = 0; op < kNumCandidateOps; ++op) {
-      per_op[static_cast<std::size_t>(op)] = arch_space_.lower_choice(
+      const auto shapes = arch_space_.lower_choice(
           slot, kAllCandidateOps[static_cast<std::size_t>(op)]);
+      Segment& seg =
+          segments[static_cast<std::size_t>(slot) * kNumCandidateOps +
+                   static_cast<std::size_t>(op)];
+      seg.begin = all_shapes.size();
+      all_shapes.insert(all_shapes.end(), shapes.begin(), shapes.end());
+      seg.end = all_shapes.size();
     }
   }
+
+  // Wire the base-class view before the sweep: slot_offset() needs
+  // num_configs, and the storage pointers are stable from here on (the
+  // vectors never reallocate after assign()).
+  view_.fixed_cycles = fixed_cycles_.data();
+  view_.fixed_energy = fixed_energy_.data();
+  view_.choice_cycles = choice_cycles_.data();
+  view_.choice_energy = choice_energy_.data();
+  view_.area = area_.data();
+  view_.num_configs = num_configs;
+  view_.slots = slots;
+  view_.clock_ghz = clock_ghz_;
 
   // Every configuration fills its own column of the tables (disjoint writes)
   // and all per-config sums accumulate inside a single lane, so the table is
   // bit-identical to a serial build at any thread count.
   DANCE_PROFILE_SCOPE("arch.cost_table.build");
   runtime::global_pool().parallel_for(
-      0, static_cast<long>(num_configs_), kModelGrain, [&](long lo, long hi) {
+      0, static_cast<long>(num_configs), kModelGrain, [&](long lo, long hi) {
+        std::vector<accel::LayerCost> costs(all_shapes.size());
         for (long i = lo; i < hi; ++i) {
           const auto ci = static_cast<std::size_t>(i);
           const accel::AcceleratorConfig config = hw_space_.config_at(ci);
-          area_[ci] = model_.area_mm2(config);
-          for (const auto& shape : arch_space_.fixed_shapes()) {
-            const accel::LayerCost lc = model_.layer_cost(config, shape);
-            fixed_cycles_[ci] += lc.cycles;
-            fixed_energy_[ci] += lc.energy_pj;
+          area_[ci] = model.area_mm2(config);
+          model.layer_cost_batch(config, all_shapes, costs);
+          for (std::size_t f = 0; f < fixed_count; ++f) {
+            fixed_cycles_[ci] += costs[f].cycles;
+            fixed_energy_[ci] += costs[f].energy_pj;
           }
           for (int slot = 0; slot < slots; ++slot) {
             for (int op = 0; op < kNumCandidateOps; ++op) {
+              const Segment& seg =
+                  segments[static_cast<std::size_t>(slot) * kNumCandidateOps +
+                           static_cast<std::size_t>(op)];
               double cycles = 0.0;
               double energy = 0.0;
-              for (const auto& shape : choice_shapes[static_cast<std::size_t>(
-                       slot)][static_cast<std::size_t>(op)]) {
-                const accel::LayerCost lc = model_.layer_cost(config, shape);
-                cycles += lc.cycles;
-                energy += lc.energy_pj;
+              for (std::size_t s = seg.begin; s < seg.end; ++s) {
+                cycles += costs[s].cycles;
+                energy += costs[s].energy_pj;
               }
               choice_cycles_[slot_offset(slot, op) + ci] = cycles;
               choice_energy_[slot_offset(slot, op) + ci] = energy;
@@ -74,96 +100,14 @@ CostTable::CostTable(const ArchSpace& arch_space,
           }
         }
       });
+
+  obs::Registry::global().counter("costtable.builds").inc();
 }
 
-accel::CostMetrics CostTable::metrics(std::size_t config_index,
-                                      const Architecture& a) const {
-  arch_space_.validate(a);
-  if (config_index >= num_configs_) {
-    throw std::out_of_range("CostTable::metrics: bad config index");
-  }
-  double cycles = fixed_cycles_[config_index];
-  double energy = fixed_energy_[config_index];
-  for (int slot = 0; slot < arch_space_.num_searchable(); ++slot) {
-    const int op = static_cast<int>(a[static_cast<std::size_t>(slot)]);
-    cycles += choice_cycles_[slot_offset(slot, op) + config_index];
-    energy += choice_energy_[slot_offset(slot, op) + config_index];
-  }
-  accel::CostMetrics m;
-  m.latency_ms = cycles / (model_.tech().clock_ghz * 1e6);
-  m.energy_mj = energy * 1e-9;
-  m.area_mm2 = area_[config_index];
-  return m;
-}
-
-std::vector<accel::CostMetrics> CostTable::evaluate_all(
-    const Architecture& a) const {
-  arch_space_.validate(a);
-  std::vector<accel::CostMetrics> out(num_configs_);
-  runtime::global_pool().parallel_for(
-      0, static_cast<long>(num_configs_), kTableGrain, [&](long lo, long hi) {
-        for (long i = lo; i < hi; ++i) {
-          const auto ci = static_cast<std::size_t>(i);
-          out[ci] = metrics(ci, a);
-        }
-      });
-  return out;
-}
-
-hwgen::HwSearchResult CostTable::optimal(const Architecture& a,
-                                         const accel::HwCostFn& cost_fn) const {
-  DANCE_PROFILE_SCOPE("arch.cost_table.optimal");
-  arch_space_.validate(a);
-  // Parallel cost fill (disjoint writes), serial arg-min: the first index at
-  // the minimum wins, exactly like the historical serial scan.
-  std::vector<double> costs(num_configs_);
-  runtime::global_pool().parallel_for(
-      0, static_cast<long>(num_configs_), kTableGrain, [&](long lo, long hi) {
-        for (long i = lo; i < hi; ++i) {
-          const auto ci = static_cast<std::size_t>(i);
-          costs[ci] = cost_fn(metrics(ci, a));
-        }
-      });
-  std::size_t best_index = 0;
-  double best_cost = std::numeric_limits<double>::infinity();
-  for (std::size_t ci = 0; ci < num_configs_; ++ci) {
-    if (costs[ci] < best_cost) {
-      best_cost = costs[ci];
-      best_index = ci;
-    }
-  }
-  return hwgen::HwSearchResult{hw_space_.config_at(best_index),
-                               metrics(best_index, a), best_cost};
-}
-
-accel::CostMetrics CostTable::expected_metrics(
-    std::size_t config_index,
-    const std::vector<std::vector<double>>& probs) const {
-  if (static_cast<int>(probs.size()) != arch_space_.num_searchable()) {
-    throw std::invalid_argument("CostTable::expected_metrics: slot mismatch");
-  }
-  if (config_index >= num_configs_) {
-    throw std::out_of_range("CostTable::expected_metrics: bad config index");
-  }
-  double cycles = fixed_cycles_[config_index];
-  double energy = fixed_energy_[config_index];
-  for (int slot = 0; slot < arch_space_.num_searchable(); ++slot) {
-    const auto& p = probs[static_cast<std::size_t>(slot)];
-    if (static_cast<int>(p.size()) != kNumCandidateOps) {
-      throw std::invalid_argument("CostTable::expected_metrics: op mismatch");
-    }
-    for (int op = 0; op < kNumCandidateOps; ++op) {
-      cycles += p[static_cast<std::size_t>(op)] *
-                choice_cycles_[slot_offset(slot, op) + config_index];
-      energy += p[static_cast<std::size_t>(op)] *
-                choice_energy_[slot_offset(slot, op) + config_index];
-    }
-  }
-  accel::CostMetrics m;
-  m.latency_ms = cycles / (model_.tech().clock_ghz * 1e6);
-  m.energy_mj = energy * 1e-9;
-  m.area_mm2 = area_[config_index];
-  return m;
+CostTable build_cost_table(const ArchSpace& arch_space,
+                           const hwgen::HwSearchSpace& hw_space,
+                           const accel::CostModel& model) {
+  return CostTable(arch_space, hw_space, model);
 }
 
 }  // namespace dance::arch

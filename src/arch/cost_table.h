@@ -2,11 +2,7 @@
 
 #include <vector>
 
-#include "accel/cost_function.h"
-#include "accel/cost_model.h"
-#include "arch/space.h"
-#include "hwgen/exhaustive.h"
-#include "hwgen/search_space.h"
+#include "arch/cost_provider.h"
 
 namespace dance::arch {
 
@@ -20,49 +16,50 @@ namespace dance::arch {
 /// makes exhaustive ground-truth generation for the evaluator training set
 /// tractable (DESIGN.md §7). The results are bit-identical to running the
 /// cost model directly.
-class CostTable {
+///
+/// Queries are inherited from TableCostProvider; a CostTable saved with
+/// `save_cost_table` and reloaded as an `MmapCostTable` answers
+/// bit-identically (see src/arch/cost_artifact.h).
+class CostTable : public TableCostProvider {
  public:
+  /// Builds the table by sweeping the whole (slot, op, config) space over
+  /// `runtime::global_pool()`. Holds references to `arch_space` and
+  /// `hw_space` (not `model`, which is only consulted during the build);
+  /// both must outlive the table.
   CostTable(const ArchSpace& arch_space, const hwgen::HwSearchSpace& hw_space,
             const accel::CostModel& model);
 
-  /// Network metrics of `a` on configuration `config_index`.
-  [[nodiscard]] accel::CostMetrics metrics(std::size_t config_index,
-                                           const Architecture& a) const;
+  // Moving is safe (the vectors keep their heap buffers, so the inherited
+  // view_ pointers stay valid); copying would alias the source's storage.
+  CostTable(CostTable&&) = default;
+  CostTable(const CostTable&) = delete;
+  CostTable& operator=(const CostTable&) = delete;
+  CostTable& operator=(CostTable&&) = delete;
 
-  /// Metrics of `a` on every configuration, in space order.
-  [[nodiscard]] std::vector<accel::CostMetrics> evaluate_all(
-      const Architecture& a) const;
-
-  /// Exact hardware generation (arg-min over the whole space) via the table.
-  [[nodiscard]] hwgen::HwSearchResult optimal(const Architecture& a,
-                                              const accel::HwCostFn& cost_fn) const;
-
-  /// Expected metrics under per-slot op probability distributions
-  /// `probs[slot][op]` for a fixed config — the differentiable relaxation's
-  /// exact counterpart, used to sanity-check the evaluator network.
-  [[nodiscard]] accel::CostMetrics expected_metrics(
-      std::size_t config_index,
-      const std::vector<std::vector<double>>& probs) const;
-
-  [[nodiscard]] const hwgen::HwSearchSpace& hw_space() const { return hw_space_; }
-  [[nodiscard]] const ArchSpace& arch_space() const { return arch_space_; }
-
- private:
-  [[nodiscard]] std::size_t slot_offset(int slot, int op) const {
-    return (static_cast<std::size_t>(slot) * kNumCandidateOps +
-            static_cast<std::size_t>(op)) *
-           num_configs_;
+  [[nodiscard]] const hwgen::HwSearchSpace& hw_space() const override {
+    return hw_space_;
+  }
+  [[nodiscard]] const ArchSpace& arch_space() const override {
+    return arch_space_;
   }
 
+ private:
   const ArchSpace& arch_space_;
   const hwgen::HwSearchSpace& hw_space_;
-  const accel::CostModel& model_;
-  std::size_t num_configs_;
+  double clock_ghz_;
   std::vector<double> fixed_cycles_;   ///< [config]
   std::vector<double> fixed_energy_;   ///< [config] (pJ)
   std::vector<double> choice_cycles_;  ///< [slot][op][config]
   std::vector<double> choice_energy_;  ///< [slot][op][config] (pJ)
   std::vector<double> area_;           ///< [config] (mm^2)
 };
+
+/// Factory form of the CostTable constructor — the construction-side
+/// counterpart of `arch::load_cost_table` (cost_artifact.h), so call sites
+/// read symmetrically whether a table is built from the model or loaded
+/// from a compiled artifact.
+[[nodiscard]] CostTable build_cost_table(const ArchSpace& arch_space,
+                                         const hwgen::HwSearchSpace& hw_space,
+                                         const accel::CostModel& model);
 
 }  // namespace dance::arch

@@ -37,7 +37,10 @@ class Recalibrator {
     [[nodiscard]] static Options from_env();
   };
 
-  /// `oracle` answers ground truth (serve::ExactBackend); it is only ever
+  /// `oracle` answers ground truth (serve::ExactBackend over any
+  /// arch::CostProvider — an in-memory CostTable, or an MmapCostTable when
+  /// the process was started with a compiled --table artifact so
+  /// recalibration shares the serving table's pages); it is only ever
   /// called from the worker thread (or train_now() in synchronous mode),
   /// never on the serving path.
   Recalibrator(ModelRegistry& registry, std::string model,

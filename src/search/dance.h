@@ -1,6 +1,6 @@
 #pragma once
 
-#include "arch/cost_table.h"
+#include "arch/cost_provider.h"
 #include "data/synthetic.h"
 #include "evalnet/evaluator.h"
 #include "nas/supernet.h"
@@ -51,7 +51,7 @@ struct DanceOptions {
 /// scratch, exactly as in §4.3.
 class DanceSearch {
  public:
-  DanceSearch(const data::SyntheticTask& task, const arch::CostTable& cost_table,
+  DanceSearch(const data::SyntheticTask& task, const arch::CostProvider& cost_table,
               evalnet::Evaluator& evaluator, const nas::SuperNetConfig& net_config,
               const DanceOptions& opts);
 
@@ -64,7 +64,7 @@ class DanceSearch {
 
  private:
   const data::SyntheticTask& task_;
-  const arch::CostTable& cost_table_;
+  const arch::CostProvider& cost_table_;
   evalnet::Evaluator& evaluator_;
   nas::SuperNetConfig net_config_;
   DanceOptions opts_;

@@ -10,7 +10,7 @@
 
 namespace dance::serve {
 
-ExactBackend::ExactBackend(const arch::CostTable& table,
+ExactBackend::ExactBackend(const arch::CostProvider& table,
                            accel::HwCostFn cost_fn)
     : table_(table), cost_fn_(std::move(cost_fn)) {
   if (!cost_fn_) {

@@ -1,0 +1,384 @@
+// LUT-compiled cost model (DANCE_COST=lut) and the DCTB cost-table
+// artifact pipeline. Suite names carry the "costtable" tag so
+// `ctest -R costtable` runs exactly these suites plus the property fuzz
+// (tests/test_property_costtable.cpp).
+//
+// The LUT contract under test (src/accel/cost_model.h):
+//   - table entries are computed with the exact expressions, so paths whose
+//     operands stay in range and whose reciprocals are exactly
+//     representable answer bit-identically to kExact;
+//   - operands at or past kCostLutBins fall back to the exact divide — no
+//     extrapolation past the last bin;
+//   - genuine divergence (reciprocal-multiply rounding on non-power-of-two
+//     denominators) stays far inside the |log10| bands the backend
+//     differential suite calibrates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "accel/cost_function.h"
+#include "accel/cost_model.h"
+#include "arch/cost_artifact.h"
+#include "arch/cost_table.h"
+#include "util/fs.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dance;
+
+// --- DANCE_COST knob --------------------------------------------------------
+
+TEST(costtable_lut, EnvKnobParsing) {
+  ASSERT_EQ(unsetenv("DANCE_COST"), 0);
+  EXPECT_EQ(accel::cost_mode_from_env(), accel::CostMode::kExact);
+  ASSERT_EQ(setenv("DANCE_COST", "exact", 1), 0);
+  EXPECT_EQ(accel::cost_mode_from_env(), accel::CostMode::kExact);
+  ASSERT_EQ(setenv("DANCE_COST", "lut", 1), 0);
+  EXPECT_EQ(accel::cost_mode_from_env(), accel::CostMode::kLut);
+  // Unknown values fall back to exact — never a crash, never a clamp.
+  ASSERT_EQ(setenv("DANCE_COST", "fast-but-wrong", 1), 0);
+  EXPECT_EQ(accel::cost_mode_from_env(), accel::CostMode::kExact);
+  ASSERT_EQ(unsetenv("DANCE_COST"), 0);
+
+  EXPECT_EQ(accel::to_string(accel::CostMode::kExact), "exact");
+  EXPECT_EQ(accel::to_string(accel::CostMode::kLut), "lut");
+
+  const accel::CostModel exact(accel::TechnologyParams{},
+                               accel::CostMode::kExact);
+  const accel::CostModel lut(accel::TechnologyParams{}, accel::CostMode::kLut);
+  EXPECT_EQ(exact.mode(), accel::CostMode::kExact);
+  EXPECT_EQ(lut.mode(), accel::CostMode::kLut);
+}
+
+// --- LUT accuracy -----------------------------------------------------------
+
+std::vector<accel::ConvShape> probe_shapes() {
+  return {
+      // dense 3x3, odd channel counts (non-power-of-two divides)
+      {.n = 1, .k = 96, .c = 36, .h = 17, .w = 17, .r = 3, .s = 3, .stride = 1, .groups = 1},
+      // depthwise 5x5 stride 2 (groups == c, the MBConv middle stage)
+      {.n = 1, .k = 144, .c = 144, .h = 28, .w = 28, .r = 5, .s = 5, .stride = 2, .groups = 144},
+      // pointwise expansion
+      {.n = 4, .k = 240, .c = 40, .h = 14, .w = 14, .r = 1, .s = 1, .stride = 1, .groups = 1},
+      // grouped conv, groups neither 1 nor c
+      {.n = 2, .k = 48, .c = 24, .h = 31, .w = 29, .r = 3, .s = 7, .stride = 2, .groups = 12},
+  };
+}
+
+std::vector<accel::AcceleratorConfig> probe_configs() {
+  using accel::Dataflow;
+  return {
+      {8, 8, 4, Dataflow::kWeightStationary},
+      {16, 16, 32, Dataflow::kOutputStationary},
+      {24, 24, 64, Dataflow::kRowStationary},
+      {11, 13, 24, Dataflow::kOutputStationary},
+  };
+}
+
+TEST(costtable_lut, LutWithinBandOfExact) {
+  const accel::CostModel exact(accel::TechnologyParams{},
+                               accel::CostMode::kExact);
+  const accel::CostModel lut(accel::TechnologyParams{}, accel::CostMode::kLut);
+  // Reciprocal-multiply rounding is a couple of ulps; the band here is
+  // absurdly tighter than the 3.0 |log10| cross-backend tolerance, on
+  // purpose — the LUT is a compilation of the same model, not a new model.
+  constexpr double kBand = 1e-9;
+  for (const auto& cfg : probe_configs()) {
+    for (const auto& s : probe_shapes()) {
+      const auto a = exact.layer_cost(cfg, s);
+      const auto b = lut.layer_cost(cfg, s);
+      EXPECT_LT(std::fabs(std::log10(b.cycles / a.cycles)), kBand)
+          << cfg.to_string() << " x " << s.to_string();
+      EXPECT_LT(std::fabs(std::log10(b.energy_pj / a.energy_pj)), kBand)
+          << cfg.to_string() << " x " << s.to_string();
+    }
+    // The area model has no divides; it must not move at all.
+    EXPECT_EQ(exact.area_mm2(cfg), lut.area_mm2(cfg));
+  }
+}
+
+TEST(costtable_lut, NonDividingDataflowsAreBitIdentical) {
+  // Weight- and row-stationary mappings never route through div_by_int, and
+  // the default bandwidths (16, 64) have exactly representable reciprocals,
+  // so for those dataflows "lut" must be a bit-identical spelling of
+  // "exact" — any drift means a table entry was not built with the exact
+  // expression.
+  const accel::CostModel exact(accel::TechnologyParams{},
+                               accel::CostMode::kExact);
+  const accel::CostModel lut(accel::TechnologyParams{}, accel::CostMode::kLut);
+  for (const auto& cfg : probe_configs()) {
+    if (cfg.dataflow == accel::Dataflow::kOutputStationary) continue;
+    for (const auto& s : probe_shapes()) {
+      const auto a = exact.layer_cost(cfg, s);
+      const auto b = lut.layer_cost(cfg, s);
+      EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0)
+          << cfg.to_string() << " x " << s.to_string();
+    }
+  }
+}
+
+TEST(costtable_lut, BinEdgeClampFallsBackToExact) {
+  // div_by_int's denominators are the filter width and the group count
+  // (output-stationary mapping). A group count at or past kCostLutBins must
+  // take the exact-divide fallback, making the whole layer bit-identical
+  // across modes; just inside the edge the LUT path is exercised.
+  const accel::CostModel exact(accel::TechnologyParams{},
+                               accel::CostMode::kExact);
+  const accel::CostModel lut(accel::TechnologyParams{}, accel::CostMode::kLut);
+  const accel::AcceleratorConfig os{16, 16, 32,
+                                    accel::Dataflow::kOutputStationary};
+
+  const auto grouped = [](int groups) {
+    accel::ConvShape s;
+    s.k = groups;
+    s.c = groups;
+    s.h = 7;
+    s.w = 7;
+    s.r = 3;
+    s.s = 1;  // filter-width denominator 1: reciprocal exact
+    s.groups = groups;
+    return s;
+  };
+
+  // At the boundary and beyond: fallback, so bitwise equality.
+  for (const int g : {static_cast<int>(accel::kCostLutBins),
+                      static_cast<int>(accel::kCostLutBins) + 1,
+                      2 * static_cast<int>(accel::kCostLutBins)}) {
+    const auto shape = grouped(g);
+    ASSERT_TRUE(shape.valid());
+    const auto a = exact.layer_cost(os, shape);
+    const auto b = lut.layer_cost(os, shape);
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0) << "groups=" << g;
+  }
+
+  // Just inside the boundary: the LUT path answers and stays in band.
+  const auto shape = grouped(static_cast<int>(accel::kCostLutBins) - 1);
+  ASSERT_TRUE(shape.valid());
+  const auto a = exact.layer_cost(os, shape);
+  const auto b = lut.layer_cost(os, shape);
+  EXPECT_LT(std::fabs(std::log10(b.cycles / a.cycles)), 1e-9);
+  EXPECT_LT(std::fabs(std::log10(b.energy_pj / a.energy_pj)), 1e-9);
+}
+
+// --- batched evaluation -----------------------------------------------------
+
+TEST(costtable_batch, BatchMatchesPerLayerBitwise) {
+  util::Rng rng(0xba7c);
+  for (const auto mode : {accel::CostMode::kExact, accel::CostMode::kLut}) {
+    const accel::CostModel model(accel::TechnologyParams{}, mode);
+    for (const auto& cfg : probe_configs()) {
+      std::vector<accel::ConvShape> shapes;
+      for (int i = 0; i < 40; ++i) {  // > the 32-shape network_cost chunk
+        auto s = probe_shapes()[static_cast<std::size_t>(rng.randint(0, 3))];
+        s.h = rng.randint(1, 32);
+        s.w = rng.randint(1, 32);
+        shapes.push_back(s);
+      }
+      std::vector<accel::LayerCost> batch(shapes.size());
+      model.layer_cost_batch(cfg, shapes, batch);
+      for (std::size_t i = 0; i < shapes.size(); ++i) {
+        const auto one = model.layer_cost(cfg, shapes[i]);
+        EXPECT_EQ(std::memcmp(&one, &batch[i], sizeof(one)), 0)
+            << accel::to_string(mode) << " layer " << i;
+      }
+      // network_cost is routed through the same batch path; its sums must
+      // match the per-layer accumulation exactly (same order, same terms).
+      const auto net = model.network_cost(cfg, shapes);
+      double cycles = 0.0;
+      double pj = 0.0;
+      for (const auto& lc : batch) {
+        cycles += lc.cycles;
+        pj += lc.energy_pj;
+      }
+      EXPECT_EQ(net.latency_ms, cycles / (model.tech().clock_ghz * 1e6));
+      EXPECT_EQ(net.energy_mj, pj * 1e-9);
+    }
+  }
+}
+
+TEST(costtable_batch, RejectsShortOutputSpan) {
+  const accel::CostModel model;
+  const std::vector<accel::ConvShape> shapes(3);
+  std::vector<accel::LayerCost> out(2);
+  EXPECT_THROW(
+      model.layer_cost_batch(accel::AcceleratorConfig{}, shapes, out),
+      std::invalid_argument);
+}
+
+// --- DCTB artifact save / load ----------------------------------------------
+
+struct costtable_artifact : ::testing::Test {
+  arch::ArchSpace arch_space{arch::cifar10_backbone()};
+  hwgen::HwSearchSpace hw_space{
+      {.pe_min = 8, .pe_max = 12, .rf_min = 8, .rf_max = 32, .rf_step = 8}};
+  accel::CostModel model;
+  std::string path;
+
+  void SetUp() override {
+    path = ::testing::TempDir() + "cost_lut_artifact_" +
+           std::to_string(getpid()) + ".dctb";
+  }
+  void TearDown() override { std::remove(path.c_str()); }
+
+  [[nodiscard]] std::string slurp() const {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+  void dump(const std::string& bytes) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /// FNV-1a over everything before the trailer — same function the artifact
+  /// uses, reimplemented here so header-field tests can re-seal a tampered
+  /// file and reach the structural checks behind the checksum gate.
+  static std::uint64_t fnv1a(const std::string& bytes, std::size_t len) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= static_cast<unsigned char>(bytes[i]);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+  void reseal(std::string& bytes) const {
+    const std::uint64_t h = fnv1a(bytes, bytes.size() - 8);
+    std::memcpy(bytes.data() + bytes.size() - 8, &h, 8);
+  }
+};
+
+TEST_F(costtable_artifact, RoundTripIsBitIdentical) {
+  const arch::CostTable table =
+      arch::build_cost_table(arch_space, hw_space, model);
+  const std::uint64_t checksum = arch::save_cost_table(table, path);
+  const auto mapped = arch::load_cost_table(path, arch_space);
+  EXPECT_EQ(mapped->checksum(), checksum);
+  EXPECT_EQ(mapped->path(), path);
+  EXPECT_EQ(mapped->hw_space().size(), hw_space.size());
+  EXPECT_GT(mapped->mapped_bytes(), 0U);
+
+  util::Rng rng(0xdc7b);
+  const auto cost_fn = accel::edap_cost();
+  for (int trial = 0; trial < 8; ++trial) {
+    const arch::Architecture a = arch_space.random(rng);
+    const auto mem = table.evaluate_all(a);
+    const auto mm = mapped->evaluate_all(a);
+    ASSERT_EQ(mem.size(), mm.size());
+    EXPECT_EQ(std::memcmp(mem.data(), mm.data(),
+                          mem.size() * sizeof(accel::CostMetrics)),
+              0);
+    const auto best_mem = table.optimal(a, cost_fn);
+    const auto best_mm = mapped->optimal(a, cost_fn);
+    EXPECT_EQ(best_mem.config, best_mm.config);
+    EXPECT_EQ(best_mem.cost, best_mm.cost);
+  }
+}
+
+TEST_F(costtable_artifact, ChecksumMismatchCarriesDiagnostics) {
+  const arch::CostTable table =
+      arch::build_cost_table(arch_space, hw_space, model);
+  const std::uint64_t checksum = arch::save_cost_table(table, path);
+  std::string bytes = slurp();
+  bytes[bytes.size() / 2] ^= 0x40;  // one payload bit flip
+  dump(bytes);
+  try {
+    (void)arch::load_cost_table(path, arch_space);
+    FAIL() << "corrupt artifact was accepted";
+  } catch (const arch::ArtifactError& e) {
+    EXPECT_EQ(e.path(), path);
+    EXPECT_EQ(e.expected_checksum(), checksum);
+    EXPECT_NE(e.actual_checksum(), checksum);
+    EXPECT_EQ(e.offset(), bytes.size() - 8);
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST_F(costtable_artifact, CorruptionAnywhereIsRejected) {
+  const arch::CostTable table =
+      arch::build_cost_table(arch_space, hw_space, model);
+  arch::save_cost_table(table, path);
+  const std::string good = slurp();
+  // Every header byte, a stride through the payload, and the trailer: a
+  // single flipped bit anywhere must be caught before the first query.
+  std::vector<std::size_t> offsets;
+  for (std::size_t i = 0; i < 64; ++i) offsets.push_back(i);
+  for (std::size_t i = 64; i < good.size() - 8; i += 4093) offsets.push_back(i);
+  for (std::size_t i = good.size() - 8; i < good.size(); ++i)
+    offsets.push_back(i);
+  for (const std::size_t at : offsets) {
+    std::string bad = good;
+    bad[at] ^= 0x01;
+    dump(bad);
+    EXPECT_THROW((void)arch::load_cost_table(path, arch_space),
+                 arch::ArtifactError)
+        << "flip at offset " << at << " was accepted";
+  }
+}
+
+TEST_F(costtable_artifact, TruncationAndTrailingBytesAreRejected) {
+  const arch::CostTable table =
+      arch::build_cost_table(arch_space, hw_space, model);
+  arch::save_cost_table(table, path);
+  const std::string good = slurp();
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{10}, std::size_t{63}, std::size_t{64},
+        good.size() / 2, good.size() - 9, good.size() - 1}) {
+    dump(good.substr(0, len));
+    EXPECT_THROW((void)arch::load_cost_table(path, arch_space),
+                 arch::ArtifactError)
+        << "truncation to " << len << " bytes was accepted";
+  }
+  dump(good + std::string(8, '\0'));
+  EXPECT_THROW((void)arch::load_cost_table(path, arch_space),
+               arch::ArtifactError)
+      << "trailing garbage was accepted";
+}
+
+TEST_F(costtable_artifact, StructuralMismatchesAreRejected) {
+  const arch::CostTable table =
+      arch::build_cost_table(arch_space, hw_space, model);
+  arch::save_cost_table(table, path);
+  const std::string good = slurp();
+
+  const auto expect_reject_at = [&](std::size_t offset, std::uint32_t value) {
+    std::string bad = good;
+    std::memcpy(bad.data() + offset, &value, sizeof(value));
+    reseal(bad);  // valid checksum: the structural check must fire, not it
+    dump(bad);
+    try {
+      (void)arch::load_cost_table(path, arch_space);
+      FAIL() << "mismatch at offset " << offset << " was accepted";
+    } catch (const arch::ArtifactError& e) {
+      EXPECT_EQ(e.offset(), offset) << e.what();
+    }
+  };
+
+  expect_reject_at(0, 0x42545344);   // wrong magic
+  expect_reject_at(4, 2);            // unknown version
+  expect_reject_at(8, 8);            // table built for a different slot count
+  expect_reject_at(12, 5);           // different candidate-op set
+  expect_reject_at(44, 9 * 5);       // encoding width of a different space
+}
+
+TEST_F(costtable_artifact, MissingFileIsRejected) {
+  try {
+    (void)arch::load_cost_table(path + ".does-not-exist", arch_space);
+    FAIL() << "missing file was accepted";
+  } catch (const arch::ArtifactError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    EXPECT_EQ(e.path(), path + ".does-not-exist");
+  }
+}
+
+}  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "arch/cost_table.h"
 #include "search/ea.h"
 
 namespace {

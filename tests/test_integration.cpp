@@ -1,6 +1,7 @@
 // Cross-module integration properties that tie the whole pipeline together.
 #include <gtest/gtest.h>
 
+#include "arch/cost_table.h"
 #include "evalnet/trainer.h"
 #include "search/dance.h"
 

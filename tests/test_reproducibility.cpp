@@ -2,6 +2,7 @@
 // seeds (a core requirement for the recorded experiment tables).
 #include <gtest/gtest.h>
 
+#include "arch/cost_table.h"
 #include "evalnet/trainer.h"
 #include "search/baselines.h"
 

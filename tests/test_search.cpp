@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "arch/cost_table.h"
 #include "evalnet/trainer.h"
 #include "search/baselines.h"
 #include "search/cost_term.h"
