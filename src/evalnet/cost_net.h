@@ -37,6 +37,7 @@ class CostNet {
   [[nodiscard]] bool feature_forwarding() const { return opts_.feature_forwarding; }
   [[nodiscard]] std::vector<tensor::Variable> parameters();
   void set_training(bool training);
+  [[nodiscard]] bool training() const { return trunk_->training(); }
 
   /// Frozen snapshot of the trunk (nn/freeze.h) for the inference compiler.
   /// Note the output scale is NOT part of the trunk; export it separately

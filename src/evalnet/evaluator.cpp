@@ -98,11 +98,27 @@ FrozenEvaluator Evaluator::freeze() {
 }
 
 void Evaluator::set_frozen(bool frozen) {
+  // Idempotent: when every parameter already has the requested grad state
+  // this is a pure read. That is what lets concurrent co-searches share one
+  // pre-frozen evaluator (search/pareto.h sweeps): each DanceSearch::run
+  // still calls set_frozen(true), but only the first — made before the
+  // sweep fans out — writes.
+  bool changed = false;
+  for (auto& p : hwgen_->parameters()) changed |= p.node()->requires_grad == frozen;
+  for (auto& p : cost_->parameters()) changed |= p.node()->requires_grad == frozen;
+  if (!changed) return;
   for (auto& p : hwgen_->parameters()) p.node()->requires_grad = !frozen;
   for (auto& p : cost_->parameters()) p.node()->requires_grad = !frozen;
 }
 
 void Evaluator::set_training(bool training) {
+  // Idempotent for the same reason as set_frozen. The guard checks the
+  // nets' own flags (not just the mirror) so a trainer that toggled a net
+  // directly cannot leave this facade out of sync.
+  if (training_ == training && hwgen_->training() == training &&
+      cost_->training() == training) {
+    return;
+  }
   training_ = training;
   hwgen_->set_training(training);
   cost_->set_training(training);

@@ -57,6 +57,7 @@ class HwGenNet {
 
   [[nodiscard]] std::vector<tensor::Variable> parameters();
   void set_training(bool training);
+  [[nodiscard]] bool training() const { return trunk_->training(); }
   [[nodiscard]] const hwgen::HwSearchSpace& space() const { return space_; }
 
   /// Frozen snapshot of the trunk (nn/freeze.h) for the inference compiler.

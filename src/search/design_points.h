@@ -17,6 +17,10 @@ struct DesignPoints {
 
 /// Select -A and -B from a sweep of search outcomes. Throws on an empty
 /// sweep. When no design is cheaper within the budget, -B equals -A.
+/// Outcomes whose accuracy, metrics or cost are non-finite are skipped (they
+/// would otherwise poison the comparisons — NaN never orders); when *every*
+/// outcome is non-finite the sweep is unusable and std::invalid_argument is
+/// thrown.
 [[nodiscard]] DesignPoints select_design_points(
     std::span<const SearchOutcome> sweep, const accel::HwCostFn& cost_fn,
     double accuracy_budget_pct = 1.0);

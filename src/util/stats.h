@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -12,13 +13,23 @@ double mean(std::span<const double> xs);
 
 /// p-th percentile (p in [0, 100], clamped) with linear interpolation
 /// between closest ranks (the R-7/NumPy default): rank = p/100 * (n-1).
-/// The input need not be sorted; 0 for an empty span. Header-only so
-/// dance_runtime (which sits below dance_util in the link order) can use it
-/// for the profiler's p50/p95 columns without a dependency cycle.
+/// The input need not be sorted; 0 for an empty span. Non-finite samples
+/// (NaN propagated from a poisoned pipeline, ±inf from an overflowed timer
+/// delta) are dropped before ranking: NaN compares false against
+/// everything, so handing it to std::sort is undefined ordering and in
+/// practice made the profiler / serve p50/p95 depend on the incoming sample
+/// order. The percentile of the finite subset is returned instead (0 when
+/// nothing finite remains). Header-only so dance_runtime (which sits below
+/// dance_util in the link order) can use it for the profiler's p50/p95
+/// columns without a dependency cycle.
 inline double percentile(std::span<const double> xs, double p) {
-  if (xs.empty()) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
-  std::vector<double> sorted(xs.begin(), xs.end());
+  std::vector<double> sorted;
+  sorted.reserve(xs.size());
+  for (const double x : xs) {
+    if (std::isfinite(x)) sorted.push_back(x);
+  }
+  if (sorted.empty()) return 0.0;
   std::sort(sorted.begin(), sorted.end());
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);

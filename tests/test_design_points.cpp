@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "search/design_points.h"
 
 namespace {
@@ -52,6 +54,48 @@ TEST(DesignPoints, WiderBudgetUnlocksCheaperB) {
 
 TEST(DesignPoints, EmptySweepThrows) {
   EXPECT_THROW(search::select_design_points({}, kLatency), std::invalid_argument);
+}
+
+// --- Non-finite outcome regressions ----------------------------------------
+// A sweep entry whose retrain diverged (NaN accuracy) or whose metrics are
+// poisoned used to propagate silently: NaN compares false against every
+// candidate, so whichever outcome the scan happened to visit first "won".
+// Non-finite entries are now skipped; an all-non-finite sweep throws.
+
+TEST(DesignPoints, NanAccuracySeedDoesNotWinA) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<search::SearchOutcome> sweep = {make(nan, 5.0),
+                                              make(91.0, 6.0)};
+  const auto p = search::select_design_points(sweep, kLatency, 1.0);
+  EXPECT_DOUBLE_EQ(p.accuracy_oriented.val_accuracy_pct, 91.0);
+}
+
+TEST(DesignPoints, NanMetricsDoNotPoisonB) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<search::SearchOutcome> sweep = {make(94.0, 8.0),
+                                              make(93.8, nan),
+                                              make(93.5, 3.0)};
+  const auto p = search::select_design_points(sweep, kLatency, 1.0);
+  // The NaN-latency entry is within the accuracy budget but must not be
+  // selected (NaN cost compares false against everything).
+  EXPECT_DOUBLE_EQ(p.efficiency_oriented.metrics.latency_ms, 3.0);
+}
+
+TEST(DesignPoints, InfiniteCostOutcomeIsSkipped) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<search::SearchOutcome> sweep = {make(95.0, inf),
+                                              make(92.0, 4.0)};
+  const auto p = search::select_design_points(sweep, kLatency, 5.0);
+  EXPECT_DOUBLE_EQ(p.accuracy_oriented.val_accuracy_pct, 92.0);
+  EXPECT_DOUBLE_EQ(p.efficiency_oriented.metrics.latency_ms, 4.0);
+}
+
+TEST(DesignPoints, AllNonFiniteThrows) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<search::SearchOutcome> sweep = {make(nan, 1.0),
+                                                    make(90.0, nan)};
+  EXPECT_THROW(search::select_design_points(sweep, kLatency),
+               std::invalid_argument);
 }
 
 }  // namespace

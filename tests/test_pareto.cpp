@@ -1,0 +1,287 @@
+// Multi-objective co-search (search/pareto.h): front computation with
+// deterministic tie-breaking, the constrained exhaustive oracle, the
+// history-penalty bookkeeping, and the front CSV. Suite names carry a
+// lowercase "pareto" so `ctest -R pareto` selects exactly these plus the
+// property suites (tests/test_property_pareto.cpp).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "arch/cost_table.h"
+#include "evalnet/trainer.h"
+#include "search/pareto.h"
+
+namespace {
+
+using namespace dance;
+
+search::SearchOutcome outcome4(double error, double lat, double energy,
+                               double area) {
+  search::SearchOutcome o;
+  o.val_accuracy_pct = 100.0 - error;
+  o.metrics = accel::CostMetrics{lat, energy, area};
+  return o;
+}
+
+TEST(pareto_front, DominanceRequiresStrictImprovementSomewhere) {
+  const auto a = outcome4(1.0, 2.0, 3.0, 4.0);
+  const auto b = outcome4(1.0, 2.0, 3.0, 4.0);
+  EXPECT_FALSE(search::dominates_outcome(a, b));  // equal: no strict edge
+  const auto c = outcome4(1.0, 2.0, 3.0, 5.0);
+  EXPECT_TRUE(search::dominates_outcome(a, c));
+  EXPECT_FALSE(search::dominates_outcome(c, a));
+  const auto d = outcome4(0.5, 9.0, 3.0, 4.0);  // trade-off: neither wins
+  EXPECT_FALSE(search::dominates_outcome(a, d));
+  EXPECT_FALSE(search::dominates_outcome(d, a));
+}
+
+TEST(pareto_front, NonFiniteOutcomesDominateNothingAndNeverJoinTheFront) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto poisoned = outcome4(nan, 0.0, 0.0, 0.0);
+  const auto real = outcome4(5.0, 5.0, 5.0, 5.0);
+  EXPECT_FALSE(search::dominates_outcome(poisoned, real));
+  EXPECT_FALSE(search::finite_objectives(poisoned));
+  const std::vector<search::SearchOutcome> outcomes = {poisoned, real};
+  const auto front = search::pareto_front_indices(outcomes);
+  ASSERT_EQ(front.size(), 1U);
+  EXPECT_EQ(front[0], 1U);
+}
+
+TEST(pareto_front, ComputesNonDominatedSubset) {
+  const std::vector<search::SearchOutcome> outcomes = {
+      outcome4(1.0, 4.0, 1.0, 1.0),  // front (best error)
+      outcome4(4.0, 1.0, 1.0, 1.0),  // front (best latency)
+      outcome4(4.0, 4.0, 4.0, 4.0),  // dominated by both
+      outcome4(2.0, 2.0, 1.0, 1.0),  // front (trade-off)
+  };
+  const auto front = search::pareto_front_indices(outcomes);
+  // Sorted by (error, latency, energy, area, index).
+  const std::vector<std::size_t> expected = {0, 3, 1};
+  EXPECT_EQ(front, expected);
+}
+
+TEST(pareto_front, DuplicateObjectiveVectorsKeepEarliestIndex) {
+  const std::vector<search::SearchOutcome> outcomes = {
+      outcome4(2.0, 2.0, 2.0, 2.0),
+      outcome4(2.0, 2.0, 2.0, 2.0),  // exact duplicate of 0
+      outcome4(1.0, 3.0, 2.0, 2.0),
+  };
+  const auto front = search::pareto_front_indices(outcomes);
+  const std::vector<std::size_t> expected = {2, 0};  // 1 deduped away
+  EXPECT_EQ(front, expected);
+}
+
+TEST(pareto_front, Lambda2SweepBuildsOneEntryPerValue) {
+  const std::vector<float> ladder = {0.1F, 0.5F, 2.0F};
+  const auto sweep = search::lambda2_sweep(ladder, search::CostKind::kEdap);
+  ASSERT_EQ(sweep.size(), 3U);
+  EXPECT_FLOAT_EQ(sweep[1].lambda2, 0.5F);
+  EXPECT_EQ(sweep[2].cost_kind, search::CostKind::kEdap);
+  EXPECT_EQ(sweep[0].seed, 0U);  // derive from base seed + position
+}
+
+TEST(pareto_csv, FrontRowsFirstThenRestInSweepOrder) {
+  search::ParetoResult result;
+  result.points.resize(3);
+  result.points[0].outcome = outcome4(3.0, 3.0, 3.0, 3.0);
+  result.points[0].feasible = true;
+  result.points[1].outcome = outcome4(1.0, 1.0, 1.0, 1.0);
+  result.points[1].feasible = true;
+  result.points[1].on_front = true;
+  result.points[2].outcome = outcome4(0.5, 0.5, 0.5, 0.5);
+  result.points[2].feasible = false;  // best numbers but over budget
+  result.front = {1};
+
+  const auto path = std::filesystem::temp_directory_path() /
+                    "dance_test_pareto_front.csv";
+  search::write_front_csv(path.string(), result);
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  std::filesystem::remove(path);
+
+  ASSERT_EQ(lines.size(), 4U);  // header + 3 points
+  EXPECT_EQ(lines[0].substr(0, 14), "series,lambda2");
+  EXPECT_EQ(lines[1].substr(0, 6), "front,");
+  EXPECT_EQ(lines[2].substr(0, 10), "dominated,");
+  EXPECT_EQ(lines[3].substr(0, 11), "infeasible,");
+}
+
+TEST(pareto_history, ArchHistoryCountsSlotOpVisits) {
+  const arch::ArchSpace space(arch::cifar10_backbone());
+  search::ArchHistory history(space);
+  util::Rng rng(7);
+  const arch::Architecture a = space.random(rng);
+  history.record(a);
+  history.record(a);
+  EXPECT_EQ(history.visits(0, static_cast<int>(a[0])), 2);
+  // Unvisited (slot, op) pairs stay at zero penalty.
+  const auto row = history.penalty_encoding(1.0);
+  ASSERT_EQ(row.size(), static_cast<std::size_t>(space.encoding_width()));
+  int nonzero = 0;
+  for (const float v : row) nonzero += v > 0.0F ? 1 : 0;
+  EXPECT_EQ(nonzero, space.num_searchable());
+  EXPECT_FLOAT_EQ(row[static_cast<std::size_t>(a[0])], 2.0F);
+}
+
+TEST(pareto_history, ArchHistoryPenaltyGrowsWithExponent) {
+  const arch::ArchSpace space(arch::cifar10_backbone());
+  search::ArchHistory history(space);
+  util::Rng rng(7);
+  const arch::Architecture a = space.random(rng);
+  for (int i = 0; i < 3; ++i) history.record(a);
+  const auto mild = history.penalty_encoding(1.0);
+  const auto steep = history.penalty_encoding(2.0);
+  const auto idx = static_cast<std::size_t>(a[0]);
+  EXPECT_FLOAT_EQ(mild[idx], 3.0F);
+  EXPECT_FLOAT_EQ(steep[idx], 9.0F);
+}
+
+TEST(pareto_history, HwHistoryBumpsNeighborhoodRegion) {
+  const hwgen::HwSearchSpace space(
+      {.pe_min = 8, .pe_max = 12, .rf_min = 8, .rf_max = 32, .rf_step = 8});
+  search::HwHistory history(space);
+  accel::AcceleratorConfig c;
+  c.pe_x = 10;
+  c.pe_y = 10;
+  c.rf_size = 16;
+  c.dataflow = accel::Dataflow::kRowStationary;
+  history.record(c);
+  EXPECT_EQ(history.visits(c), 1);
+  // A ±1 neighbor in every dimension is part of the recorded region...
+  accel::AcceleratorConfig near = c;
+  near.pe_x = 11;
+  near.rf_size = 24;
+  EXPECT_EQ(history.visits(near), 1);
+  // ...but a different dataflow or a 2-step neighbor is not.
+  accel::AcceleratorConfig far = c;
+  far.pe_x = 8;
+  EXPECT_EQ(history.visits(far), 0);
+  accel::AcceleratorConfig other_df = c;
+  other_df.dataflow = accel::Dataflow::kWeightStationary;
+  EXPECT_EQ(history.visits(other_df), 0);
+
+  EXPECT_DOUBLE_EQ(history.penalty_factor(space.index_of(far), 0.5, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(history.penalty_factor(space.index_of(c), 0.5, 2.0), 1.5);
+}
+
+/// Fixture with a real (tiny) cost table for the oracle and integration
+/// smokes — same scale as tests/test_search.cpp.
+class pareto_integration : public ::testing::Test {
+ protected:
+  pareto_integration()
+      : arch_space_(arch::cifar10_backbone()),
+        hw_space_({.pe_min = 8, .pe_max = 12, .rf_min = 8, .rf_max = 32,
+                   .rf_step = 8}),
+        table_(arch_space_, hw_space_, model_) {
+    data::SyntheticTaskConfig dcfg;
+    dcfg.input_dim = 12;
+    dcfg.num_classes = 6;
+    dcfg.train_samples = 512;
+    dcfg.val_samples = 192;
+    task_ = data::make_synthetic_task(dcfg);
+
+    net_config_.input_dim = 12;
+    net_config_.num_classes = 6;
+    net_config_.width = 24;
+    net_config_.num_blocks = 9;
+  }
+
+  arch::ArchSpace arch_space_;
+  hwgen::HwSearchSpace hw_space_;
+  accel::CostModel model_;
+  arch::CostTable table_;
+  data::SyntheticTask task_;
+  nas::SuperNetConfig net_config_;
+};
+
+TEST_F(pareto_integration, ConstrainedOptimalMatchesPenalizedArgmin) {
+  util::Rng rng(11);
+  const accel::HwCostFn base = accel::edap_cost();
+  for (int trial = 0; trial < 5; ++trial) {
+    const arch::Architecture a = arch_space_.random(rng);
+    // Pick a budget that excludes part (but not all) of the space: the
+    // median area across configurations.
+    const auto all = table_.evaluate_all(a);
+    std::vector<double> areas;
+    for (const auto& m : all) areas.push_back(m.area_mm2);
+    std::sort(areas.begin(), areas.end());
+    search::ConstraintSpec spec;
+    spec.area_budget_mm2 = areas[areas.size() / 2];
+
+    const auto oracle = search::constrained_optimal(table_, a, base, spec);
+    const auto penalized =
+        table_.optimal(a, search::constrained_cost_fn(base, spec));
+    EXPECT_EQ(oracle.config, penalized.config) << "trial " << trial;
+    EXPECT_TRUE(spec.feasible(oracle.metrics));
+  }
+}
+
+TEST_F(pareto_integration, ConstrainedOptimalFallsBackToLeastViolating) {
+  util::Rng rng(13);
+  const arch::Architecture a = arch_space_.random(rng);
+  search::ConstraintSpec spec;
+  spec.area_budget_mm2 = 1e-9;  // nothing fits
+  const auto oracle =
+      search::constrained_optimal(table_, a, accel::edap_cost(), spec);
+  // Least-violating == smallest area when only area is constrained.
+  const auto all = table_.evaluate_all(a);
+  double min_area = std::numeric_limits<double>::infinity();
+  for (const auto& m : all) min_area = std::min(min_area, m.area_mm2);
+  EXPECT_DOUBLE_EQ(oracle.metrics.area_mm2, min_area);
+  // The penalized arg-min agrees even when the whole space is infeasible.
+  const auto penalized = table_.optimal(
+      a, search::constrained_cost_fn(accel::edap_cost(), spec));
+  EXPECT_EQ(oracle.config, penalized.config);
+}
+
+TEST_F(pareto_integration, EmptySweepThrows) {
+  util::Rng rng(3);
+  evalnet::Evaluator evaluator(arch_space_.encoding_width(), hw_space_, rng);
+  search::ParetoOptions opts;
+  search::ParetoCoSearch co(task_, table_, evaluator, net_config_, opts);
+  EXPECT_THROW((void)co.run(), std::invalid_argument);
+}
+
+TEST_F(pareto_integration, SweepProducesVerifiedFront) {
+  util::Rng rng(21);
+  evalnet::Evaluator::Options eopts;
+  eopts.hwgen.hidden_dim = 32;
+  eopts.cost.hidden_dim = 32;
+  evalnet::Evaluator evaluator(arch_space_.encoding_width(), hw_space_, rng,
+                               eopts);
+  auto ds = evalnet::generate_evaluator_dataset(table_, accel::edap_cost(),
+                                                200, rng);
+  auto [train, val] = evalnet::split_dataset(ds, 0.8);
+  evalnet::TrainOptions topts;
+  topts.epochs = 6;
+  topts.batch_size = 64;
+  evalnet::train_hwgen_net(evaluator.hwgen_net(), train, val, topts);
+  topts.lr = 3e-3F;
+  evalnet::train_cost_net(evaluator.cost_net(), train, val, topts);
+
+  search::ParetoOptions opts;
+  opts.base.search_epochs = 3;
+  opts.base.warmup_epochs = 1;
+  opts.base.retrain.epochs = 4;
+  const std::vector<float> ladder = {0.0F, 1.0F};
+  opts.sweep = search::lambda2_sweep(ladder);
+  const search::ParetoResult result =
+      search::ParetoCoSearch(task_, table_, evaluator, net_config_, opts)
+          .run();
+  ASSERT_EQ(result.points.size(), 2U);
+  EXPECT_FALSE(result.front.empty());
+  for (const auto& p : result.points) {
+    EXPECT_EQ(p.outcome.architecture.size(), 9U);
+    EXPECT_TRUE(p.feasible);  // no constraints set
+  }
+  const std::string err =
+      search::verify_front(result, table_, opts.base.constraints);
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+}  // namespace

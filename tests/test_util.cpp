@@ -3,6 +3,7 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -101,6 +102,33 @@ TEST(Stats, PercentileEdgeCases) {
   const std::vector<double> xs = {1.0, 2.0};
   EXPECT_DOUBLE_EQ(percentile(xs, -10.0), 1.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 250.0), 2.0);
+}
+
+TEST(Stats, PercentileIgnoresNonFiniteSamples) {
+  // Regression: NaN samples used to reach std::sort, whose ordering (and
+  // therefore every percentile) is undefined with unordered elements — the
+  // reported p50/p95 depended on the seed-dependent position of the NaNs.
+  // Non-finite samples are now dropped before sorting.
+  std::vector<double> xs;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < 64; ++i) xs.push_back(nan);  // enough to derail sort
+  xs.push_back(2.0);
+  xs.insert(xs.begin(), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 1.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 2.0);
+
+  const std::vector<double> with_inf = {
+      3.0, std::numeric_limits<double>::infinity(), 1.0,
+      -std::numeric_limits<double>::infinity(), 2.0};
+  EXPECT_DOUBLE_EQ(percentile(with_inf, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(with_inf, 100.0), 3.0);
+}
+
+TEST(Stats, PercentileAllNonFiniteReturnsZero) {
+  const std::vector<double> xs = {std::numeric_limits<double>::quiet_NaN(),
+                                  std::numeric_limits<double>::infinity()};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 0.0);
 }
 
 TEST(Stats, MeanRelativeError) {
